@@ -1,0 +1,18 @@
+"""Per-optimization ablation (extension study; see DESIGN.md)."""
+
+from repro.eval.ablation import render_ablation, run_ablation
+
+
+def test_ablation(benchmark, matmul_stats):
+    rows = benchmark(run_ablation, matmul_stats)
+    print()
+    print(render_ablation("matmul", rows))
+    by = {(r.placement, r.variant): r.result for r in rows}
+    for placement in ("register", "onchip", "offchip"):
+        basic = by[(placement, "basic")].overhead
+        optimized = by[(placement, "optimized")].overhead
+        dispatch_gain = basic - by[(placement, "+dispatch")].overhead
+        assert optimized < basic
+        # Hardware dispatch is the largest single contributor.
+        for feature in ("+types", "+reply/forward"):
+            assert dispatch_gain >= basic - by[(placement, feature)].overhead

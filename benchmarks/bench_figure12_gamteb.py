@@ -1,0 +1,27 @@
+"""Regenerate Figure 12, Gamteb bars (paper Section 4.2.3)."""
+
+from repro.eval.figure12 import headline_metrics, render_figure, run_program
+from repro.tam.costmap import breakdown_all_models
+
+from conftest import GAMTEB_PHOTONS, NODES
+
+
+def test_gamteb_execution(benchmark):
+    stats = benchmark(run_program, "gamteb", GAMTEB_PHOTONS, NODES)
+    assert stats.messages.preads > 0
+
+
+def test_gamteb_figure12(benchmark, gamteb_stats):
+    breakdowns = benchmark(breakdown_all_models, gamteb_stats)
+    print()
+    print(render_figure(f"gamteb {GAMTEB_PHOTONS}", gamteb_stats))
+    metrics = headline_metrics(breakdowns)
+    assert metrics.overhead_reduction >= 2.5
+    assert 25.0 <= metrics.total_reduction_percent <= 65.0
+
+
+def test_gamteb_paper_scale(benchmark):
+    """The paper's exact configuration: 16 source photons."""
+    stats = benchmark(run_program, "gamteb", 16, NODES)
+    print()
+    print(render_figure("gamteb 16 (paper scale)", stats))

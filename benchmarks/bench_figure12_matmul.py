@@ -1,0 +1,53 @@
+"""Regenerate Figure 12, matrix-multiply bars (paper Section 4.2.3).
+
+The benchmark times the TAM execution (the expensive part) and the
+pricing; it prints the stacked bars and headline metrics.
+"""
+
+from repro.eval.figure12 import headline_metrics, render_figure, run_program
+from repro.tam.costmap import breakdown_all_models
+
+from conftest import MATMUL_N, NODES
+
+
+def test_matmul_execution(benchmark):
+    stats = benchmark(run_program, "matmul", MATMUL_N, NODES)
+    assert stats.messages.total_messages > 0
+
+
+def test_matmul_figure12(benchmark, matmul_stats):
+    breakdowns = benchmark(breakdown_all_models, matmul_stats)
+    print()
+    print(render_figure(f"matmul {MATMUL_N}x{MATMUL_N}", matmul_stats))
+    metrics = headline_metrics(breakdowns)
+    assert metrics.overhead_reduction >= 2.5
+    assert metrics.optimized_always_beats_basic
+    assert 25.0 <= metrics.total_reduction_percent <= 65.0
+
+
+def test_matmul_figure12_paper_prices(benchmark, matmul_stats):
+    breakdowns = benchmark(breakdown_all_models, matmul_stats, "paper")
+    print()
+    print(render_figure(f"matmul {MATMUL_N}x{MATMUL_N}", matmul_stats, source="paper"))
+    metrics = headline_metrics(breakdowns)
+    assert metrics.overhead_reduction >= 2.0
+
+
+def test_matmul_paper_scale(benchmark):
+    """The paper's exact configuration: 100x100, NumPy-verified.
+
+    Opt in with PAPER_SCALE=1 (about 13 s per round otherwise skipped).
+    """
+    import os
+
+    import pytest
+
+    if not os.environ.get("PAPER_SCALE"):
+        pytest.skip("set PAPER_SCALE=1 to run the 100x100 configuration")
+    from repro.programs.matmul import run_matmul
+
+    result = benchmark.pedantic(
+        run_matmul, args=(100, NODES), kwargs={"verify": True}, rounds=1, iterations=1
+    )
+    print()
+    print(render_figure("matmul 100x100 (paper scale)", result.stats))

@@ -1,0 +1,33 @@
+"""Figure 12 bars for the Send-dominated N-Queens workload (extension).
+
+The paper reports two programs and says the rest "give similar results";
+Queens probes the opposite corner of the mix space — pure procedure-call
+traffic, no presence-bit operations — and shows which Figure 12 claims
+are mix-dependent (see EXPERIMENTS.md).
+"""
+
+from repro.eval.figure12 import headline_metrics, render_figure, run_program
+from repro.tam.costmap import breakdown_all_models
+
+
+def test_queens_execution(benchmark):
+    stats = benchmark(run_program, "queens", 6, 16)
+    assert stats.messages.sends > 0
+    assert stats.messages.preads == 0
+
+
+def test_queens_figure12(benchmark):
+    stats = run_program("queens", 6, 16)
+    breakdowns = benchmark(breakdown_all_models, stats)
+    print()
+    print(render_figure("queens 6", stats))
+    metrics = headline_metrics(breakdowns)
+    # The optimization savings on the Send path itself stay large even
+    # when their share of total execution is small.
+    assert metrics.overhead_reduction >= 2.5
+    by_key = {b.model_key: b for b in breakdowns}
+    for placement in ("register", "onchip", "offchip"):
+        assert (
+            by_key[f"optimized-{placement}"].overhead
+            < by_key[f"basic-{placement}"].overhead
+        )

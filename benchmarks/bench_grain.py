@@ -1,0 +1,22 @@
+"""Grain-size sensitivity study (extension; paper Section 4.2.2 scoping)."""
+
+from repro.eval.grain import crossover_grain, render_grain, sweep
+
+
+def test_grain_sweep(benchmark):
+    results = benchmark(sweep, (1, 3, 10, 30, 100))
+    print()
+    print(render_grain(results))
+    # Overhead share decreases monotonically with grain, for both models.
+    basic = [r.overhead_fraction_basic_offchip for r in results]
+    optimized = [r.overhead_fraction_optimized_register for r in results]
+    assert basic == sorted(basic, reverse=True)
+    assert optimized == sorted(optimized, reverse=True)
+    # The optimized interface always keeps a smaller overhead share.
+    assert all(o < b for o, b in zip(optimized, basic))
+    # The speedup narrows toward 1 as messages amortise.
+    speedups = [r.speedup_basic_to_optimized for r in results]
+    assert speedups == sorted(speedups, reverse=True)
+    assert speedups[-1] < speedups[0]
+    crossings = crossover_grain(results)
+    assert crossings["optimized-register"] <= crossings["basic-offchip"]

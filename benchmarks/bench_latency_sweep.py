@@ -1,0 +1,14 @@
+"""Regenerate the off-chip latency sensitivity study (Section 4.2.3 text)."""
+
+from repro.eval.latency import relative_overheads, render_sweep, sweep
+
+
+def test_latency_sweep(benchmark, matmul_stats):
+    points = benchmark(sweep, matmul_stats, (2, 4, 6, 8, 12, 16))
+    print()
+    print(render_sweep("matmul", points))
+    ratios = relative_overheads(points)
+    # "the communication costs of the off-chip optimized model will double"
+    assert 1.7 <= ratios[8] <= 2.3
+    overheads = [p.overhead for p in points]
+    assert overheads == sorted(overheads)

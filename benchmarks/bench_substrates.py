@@ -1,0 +1,51 @@
+"""Simulator-throughput benchmarks for the substrates themselves.
+
+Not a paper artifact — these track the reproduction's own performance so
+that regressions in the interface model, the fabric, or the TAM
+interpreter are visible.
+"""
+
+from repro.api.cluster import Cluster
+from repro.network.topology import Mesh2D
+from repro.nic.interface import NetworkInterface
+from repro.nic.messages import Message, pack_destination
+from repro.nic.rtl import ClockedNIC
+
+
+def test_interface_send_next_throughput(benchmark):
+    ni = NetworkInterface()
+
+    def send_receive_block():
+        for _ in range(100):
+            ni.send(2)
+            ni.deliver(ni.transmit())
+            ni.next()
+
+    benchmark(send_receive_block)
+
+
+def test_rtl_clock_rate(benchmark):
+    nic = ClockedNIC()
+    nic.interface.deliver(Message(2, (pack_destination(0), 0, 0, 0, 0)))
+
+    def clock_1000():
+        nic.run_idle(1000)
+
+    benchmark(clock_1000)
+
+
+def test_fabric_delivery_rate(benchmark):
+    cluster = Cluster(Mesh2D(4, 4))
+
+    def cross_mesh_writes():
+        for source in range(8):
+            cluster.remote_write(source, 15 - source, 0x100, source)
+
+    benchmark(cross_mesh_writes)
+
+
+def test_tam_interpreter_rate(benchmark):
+    from repro.programs.matmul import run_matmul
+
+    result = benchmark(run_matmul, 8, 4, False)
+    assert result.stats.total_instructions > 0

@@ -1,0 +1,12 @@
+"""The Section 1 survey comparison (extension study)."""
+
+from repro.eval.survey import render_survey
+from repro.survey.models import SURVEY
+
+
+def test_survey(benchmark):
+    text = benchmark(render_survey)
+    print()
+    print(text)
+    assert "iPSC/2" in text and "this work" in text
+    assert len(SURVEY) >= 7

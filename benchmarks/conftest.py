@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's evaluation artifacts
+(Table 1, the two Figure 12 bars, the latency sweep) and prints it, so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the whole evaluation
+section in one run.
+"""
+
+import pytest
+
+from repro.eval.figure12 import run_program
+
+MATMUL_N = 40
+GAMTEB_PHOTONS = 64
+NODES = 16
+
+
+@pytest.fixture(scope="session")
+def matmul_stats():
+    """One matmul execution shared by the pricing benchmarks."""
+    return run_program("matmul", size=MATMUL_N, nodes=NODES)
+
+
+@pytest.fixture(scope="session")
+def gamteb_stats():
+    """One gamteb execution shared by the pricing benchmarks."""
+    return run_program("gamteb", size=GAMTEB_PHOTONS, nodes=NODES)

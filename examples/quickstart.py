@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: a remote read in two RISC instructions.
+
+Builds the smallest interesting machine — two nodes wired through the
+architectural network interface — walks a remote-read request through the
+optimized interface exactly as the paper's Section 2.1.4 example does, and
+then shows the headline measurement: under the optimized register-mapped
+model, the destination processor receives, processes, and replies to the
+request in a **total of two RISC instructions**.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.api.cluster import Cluster
+from repro.impls.base import OPTIMIZED_REGISTER
+from repro.kernels.harness import measure_dispatch, measure_processing
+from repro.kernels.sequences import dispatch_kernel, processing_kernel
+from repro.network.topology import Mesh2D
+
+
+def main() -> None:
+    # --- 1. A tiny machine: 2x1 mesh, one interface per node. ----------
+    cluster = Cluster(Mesh2D(2, 1))
+    cluster.node(1).memory.store(0x100, 31337)
+
+    value = cluster.remote_read(source=0, target=1, address=0x100)
+    print(f"remote read of node 1's word 0x100 from node 0 -> {value}")
+    assert value == 31337
+
+    # The reply was composed with the hardware REPLY mode: words 1 and 2
+    # of the request (the reply FP and IP) were substituted by the
+    # interface, with no copying instructions.
+    replies = cluster.node(1).interface.stats.sends_by_mode
+    print(f"node 1 send modes used: { {m.value: c for m, c in replies.items()} }")
+
+    # --- 2. The paper's headline number, measured. ----------------------
+    dispatch = measure_dispatch(OPTIMIZED_REGISTER)
+    processing = measure_processing("read", OPTIMIZED_REGISTER)
+    total = dispatch.instructions + processing.instructions
+    print(
+        f"\noptimized register model: dispatch={dispatch.instructions} instr, "
+        f"processing={processing.instructions} instr, total={total}"
+    )
+    assert total == 2, "the paper's two-instruction remote read"
+
+    # --- 3. And this is the actual handler code. ------------------------
+    print("\ndispatch stub:")
+    print(dispatch_kernel(OPTIMIZED_REGISTER).sequence.listing())
+    print("\nremote-read handler:")
+    print(processing_kernel("read", OPTIMIZED_REGISTER).sequence.listing())
+
+
+if __name__ == "__main__":
+    main()

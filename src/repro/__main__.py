@@ -1,0 +1,116 @@
+"""Run the whole evaluation from one entry point.
+
+``python -m repro`` regenerates every table and figure of the paper plus
+the extension studies; individual harnesses remain available as
+``python -m repro.eval.<name>``.
+
+Options::
+
+    python -m repro                 # default scales (fast)
+    python -m repro --paper-scale   # matmul 100x100, gamteb 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce Henry & Joerg, 'A Tightly-Coupled Processor-Network "
+            "Interface' (ASPLOS 1992)"
+        ),
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's program sizes (slower)",
+    )
+    parser.add_argument(
+        "--skip",
+        nargs="*",
+        default=[],
+        choices=[
+            "table1",
+            "roundtrip",
+            "throughput",
+            "figure12",
+            "latency",
+            "ablation",
+            "grain",
+            "survey",
+        ],
+        help="sections to skip",
+    )
+    args = parser.parse_args(argv)
+
+    def banner(title: str) -> None:
+        print()
+        print("#" * 72)
+        print(f"# {title}")
+        print("#" * 72)
+
+    if "table1" not in args.skip:
+        banner("Table 1 (Section 4.1)")
+        from repro.eval.table1 import render_report
+
+        print(render_report())
+
+    if "roundtrip" not in args.skip:
+        banner("End-to-end operation costs (derived from Table 1)")
+        from repro.eval.roundtrip import render_roundtrips
+
+        print(render_roundtrips())
+
+    if "throughput" not in args.skip:
+        banner("Steady-state service-loop throughput (derived)")
+        from repro.eval.throughput import render_throughput
+
+        print(render_throughput())
+
+    if "figure12" not in args.skip:
+        banner("Figure 12 (Section 4.2.3)")
+        from repro.eval.figure12 import PAPER_SIZES, render_figure, run_program
+
+        for program in ("matmul", "gamteb"):
+            size = PAPER_SIZES[program] if args.paper_scale else None
+            stats = run_program(program, size=size)
+            print(render_figure(program, stats))
+            print()
+
+    if "latency" not in args.skip:
+        banner("Off-chip latency sensitivity (Section 4.2.3)")
+        from repro.eval.figure12 import run_program
+        from repro.eval.latency import render_sweep, sweep
+
+        stats = run_program("matmul", size=100 if args.paper_scale else 24)
+        print(render_sweep("matmul", sweep(stats)))
+
+    if "ablation" not in args.skip:
+        banner("Per-optimization ablation (extension)")
+        from repro.eval.ablation import render_ablation, run_ablation
+        from repro.eval.figure12 import run_program
+
+        stats = run_program("matmul", size=24)
+        print(render_ablation("matmul", run_ablation(stats)))
+
+    if "grain" not in args.skip:
+        banner("Grain-size sensitivity (extension)")
+        from repro.eval.grain import render_grain, sweep as grain_sweep
+
+        print(render_grain(grain_sweep()))
+
+    if "survey" not in args.skip:
+        banner("Section 1 survey (extension)")
+        from repro.eval.survey import render_survey
+
+        print(render_survey())
+
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""High-level user API: clusters and remote operations."""
+
+from repro.api.cluster import Cluster, RemoteValue
+
+__all__ = ["Cluster", "RemoteValue"]

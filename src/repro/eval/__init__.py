@@ -1,0 +1,1 @@
+"""Evaluation harnesses that regenerate the paper's tables and figures."""

@@ -1,0 +1,182 @@
+"""Regenerate the paper's Figure 12 (Section 4.2.3).
+
+Runs the two evaluation programs on the TAM substrate, prices the dynamic
+instruction and message mix under all six interface models, and prints the
+stacked bars (compute / dispatch / other communication) plus the headline
+metrics the paper reports:
+
+* the communication-overhead reduction from the basic off-chip model to
+  the optimized register model ("about five fold" in the paper);
+* the total execution-cycle reduction ("about 40%");
+* the overhead share of total cycles ("from 51% to only 17%");
+* the orderings: optimizations matter more than placement, and "even the
+  slowest optimized implementation is better than the fastest unoptimized
+  implementation".
+
+Usage::
+
+    python -m repro.eval.figure12 [matmul|gamteb|both] [--size N]
+    python -m repro.eval.figure12 both --paper-costs
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import EvaluationError
+from repro.impls.base import ALL_MODELS
+from repro.tam.costmap import CycleBreakdown, breakdown_all_models
+from repro.tam.stats import TamStats
+from repro.utils.tables import render_bar_chart, render_table
+
+DEFAULT_SIZES = {"matmul": 40, "gamteb": 64, "queens": 6}
+PAPER_SIZES = {"matmul": 100, "gamteb": 16, "queens": 6}
+
+
+def run_program(name: str, size: int | None = None, nodes: int = 16) -> TamStats:
+    """Execute one evaluation program and return its statistics."""
+    if name == "matmul":
+        from repro.programs.matmul import run_matmul
+
+        return run_matmul(n=size or DEFAULT_SIZES["matmul"], nodes=nodes).stats
+    if name == "gamteb":
+        from repro.programs.gamteb import run_gamteb
+
+        return run_gamteb(n_photons=size or DEFAULT_SIZES["gamteb"], nodes=nodes).stats
+    if name == "queens":
+        from repro.programs.queens import run_queens
+
+        return run_queens(n=size or DEFAULT_SIZES["queens"], nodes=nodes).stats
+    raise EvaluationError(
+        f"unknown program {name!r}; use 'matmul', 'gamteb', or 'queens'"
+    )
+
+
+@dataclass
+class HeadlineMetrics:
+    """The summary quantities the paper's Section 4.2.3 quotes."""
+
+    overhead_reduction: float  # basic-offchip overhead / optimized-register
+    total_reduction_percent: float  # total cycles cut, basic-off -> opt-reg
+    overhead_fraction_basic_offchip: float
+    overhead_fraction_optimized_register: float
+    slowest_optimized_overhead: int
+    fastest_basic_overhead: int
+
+    @property
+    def optimized_always_beats_basic(self) -> bool:
+        return self.slowest_optimized_overhead < self.fastest_basic_overhead
+
+
+def headline_metrics(breakdowns: List[CycleBreakdown]) -> HeadlineMetrics:
+    by_key: Dict[str, CycleBreakdown] = {b.model_key: b for b in breakdowns}
+    basic_off = by_key["basic-offchip"]
+    opt_reg = by_key["optimized-register"]
+    slowest_optimized = max(
+        by_key[m.key].overhead for m in ALL_MODELS if m.optimized
+    )
+    fastest_basic = min(
+        by_key[m.key].overhead for m in ALL_MODELS if not m.optimized
+    )
+    return HeadlineMetrics(
+        overhead_reduction=basic_off.overhead / opt_reg.overhead,
+        total_reduction_percent=100.0 * (1 - opt_reg.total / basic_off.total),
+        overhead_fraction_basic_offchip=basic_off.overhead_fraction,
+        overhead_fraction_optimized_register=opt_reg.overhead_fraction,
+        slowest_optimized_overhead=slowest_optimized,
+        fastest_basic_overhead=fastest_basic,
+    )
+
+
+def render_figure(
+    program: str, stats: TamStats, source: str = "measured"
+) -> str:
+    """The Figure 12 bars and metrics for one program, as text."""
+    breakdowns = breakdown_all_models(stats, source=source)
+    labels = [b.model_key for b in breakdowns]
+    chart = render_bar_chart(
+        labels,
+        [
+            ("compute", [b.compute for b in breakdowns]),
+            ("dispatch", [b.dispatch for b in breakdowns]),
+            ("other communication", [b.communication for b in breakdowns]),
+        ],
+        title=f"Figure 12 - {program} (Table 1 prices: {source})",
+    )
+    table = render_table(
+        ["model", "compute", "dispatch", "other comm", "total", "overhead %"],
+        [
+            [
+                b.model_key,
+                b.compute,
+                b.dispatch,
+                b.communication,
+                b.total,
+                f"{100 * b.overhead_fraction:.1f}%",
+            ]
+            for b in breakdowns
+        ],
+    )
+    metrics = headline_metrics(breakdowns)
+    summary = "\n".join(
+        [
+            f"communication overhead reduced {metrics.overhead_reduction:.1f}x "
+            "(basic off-chip -> optimized register; paper: ~5x)",
+            f"total cycles cut {metrics.total_reduction_percent:.0f}% "
+            "(paper: ~40%)",
+            "overhead share "
+            f"{100 * metrics.overhead_fraction_basic_offchip:.0f}% -> "
+            f"{100 * metrics.overhead_fraction_optimized_register:.0f}% "
+            "(paper: 51% -> 17%)",
+            "slowest optimized beats fastest basic: "
+            f"{metrics.optimized_always_beats_basic} "
+            f"({metrics.slowest_optimized_overhead:,} vs "
+            f"{metrics.fastest_basic_overhead:,} overhead cycles)",
+            f"grain: {stats.flops_per_message():.1f} flops/message "
+            "(paper matmul: ~3); message instructions "
+            f"{100 * stats.message_instruction_fraction:.1f}% of dynamic mix "
+            "(paper: under 10%)",
+        ]
+    )
+    return f"{chart}\n\n{table}\n\n{summary}"
+
+
+def main(argv: List[str] | None = None) -> None:  # pragma: no cover - CLI
+    parser = argparse.ArgumentParser(description="Regenerate Figure 12")
+    parser.add_argument(
+        "program",
+        nargs="?",
+        default="both",
+        choices=["matmul", "gamteb", "queens", "both", "all"],
+    )
+    parser.add_argument("--size", type=int, default=None)
+    parser.add_argument("--nodes", type=int, default=16)
+    parser.add_argument(
+        "--paper-costs",
+        action="store_true",
+        help="price messages with the paper's Table 1 instead of measured",
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's program sizes (matmul 100, gamteb 16)",
+    )
+    args = parser.parse_args(argv)
+    if args.program == "both":
+        programs = ["matmul", "gamteb"]
+    elif args.program == "all":
+        programs = ["matmul", "gamteb", "queens"]
+    else:
+        programs = [args.program]
+    source = "paper" if args.paper_costs else "measured"
+    for program in programs:
+        size = args.size or (PAPER_SIZES[program] if args.paper_scale else None)
+        stats = run_program(program, size=size, nodes=args.nodes)
+        print(render_figure(program, stats, source=source))
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,138 @@
+"""The off-chip latency sensitivity study (paper Section 4.2.3).
+
+"Figure 12 assumes a two cycle latency for reads from the off-chip
+interface.  If, however, the latency is increased to 8 cycles instead of
+2, then the communication costs of the off-chip optimized model will
+double.  As a result, relegating the network interface off-chip will not
+remain a viable alternative for future generations of multiprocessors."
+
+This harness sweeps the off-chip read latency, reprices a program's
+message mix at each point, and reports the communication cost relative to
+the 2-cycle baseline.
+
+Usage::
+
+    python -m repro.eval.latency [matmul|gamteb] [--latencies 2 4 8 16]
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.impls.base import OPTIMIZED_OFF_CHIP
+from repro.kernels.harness import (
+    measure_dispatch,
+    measure_processing,
+    measure_pwrite_deferred_line,
+    measure_sending,
+)
+from repro.kernels.sequences import PROCESSING_CASES, SENDING_MESSAGES
+from repro.tam.costmap import MessageCostTable, breakdown
+from repro.tam.stats import TamStats
+from repro.utils.tables import render_table
+
+BASELINE_DEAD_CYCLES = 2
+"""The paper's Figure 12 assumption for off-chip reads."""
+
+
+def cost_table_at_latency(dead_cycles: int) -> MessageCostTable:
+    """Measure the full Table 1 price set at a swept off-chip latency."""
+    model = OPTIMIZED_OFF_CHIP.with_off_chip_latency(dead_cycles)
+    sending = {
+        message: measure_sending(message, model).cycles
+        for message in SENDING_MESSAGES
+    }
+    processing = {
+        case: measure_processing(case, model).cycles
+        for case in PROCESSING_CASES
+        if case != "pwrite_deferred"
+    }
+    base, slope = measure_pwrite_deferred_line(model)
+    return MessageCostTable(
+        model_key=model.key,
+        sending=sending,
+        dispatch=measure_dispatch(model).cycles,
+        processing=processing,
+        pwrite_deferred_base=base,
+        pwrite_deferred_slope=slope,
+        source=f"measured@latency={dead_cycles}",
+    )
+
+
+@dataclass
+class LatencyPoint:
+    dead_cycles: int
+    communication: int
+    dispatch: int
+    total: int
+
+    @property
+    def overhead(self) -> int:
+        return self.communication + self.dispatch
+
+
+def sweep(
+    stats: TamStats, latencies: Sequence[int] = (2, 4, 6, 8, 12, 16)
+) -> List[LatencyPoint]:
+    """Reprice ``stats`` at each off-chip read latency."""
+    points = []
+    for dead_cycles in latencies:
+        model = OPTIMIZED_OFF_CHIP.with_off_chip_latency(dead_cycles)
+        result = breakdown(stats, model, table=cost_table_at_latency(dead_cycles))
+        points.append(
+            LatencyPoint(
+                dead_cycles=dead_cycles,
+                communication=result.communication,
+                dispatch=result.dispatch,
+                total=result.total,
+            )
+        )
+    return points
+
+
+def relative_overheads(points: List[LatencyPoint]) -> Dict[int, float]:
+    """Overhead at each latency, relative to the 2-cycle baseline."""
+    baseline = next(
+        (p for p in points if p.dead_cycles == BASELINE_DEAD_CYCLES), points[0]
+    )
+    return {p.dead_cycles: p.overhead / baseline.overhead for p in points}
+
+
+def render_sweep(program: str, points: List[LatencyPoint]) -> str:
+    ratios = relative_overheads(points)
+    table = render_table(
+        ["latency (dead cycles)", "dispatch", "other comm", "overhead", "vs 2-cycle"],
+        [
+            [p.dead_cycles, p.dispatch, p.communication, p.overhead, f"{ratios[p.dead_cycles]:.2f}x"]
+            for p in points
+        ],
+        title=f"Off-chip read latency sweep - {program} (optimized off-chip model)",
+    )
+    at8 = ratios.get(8)
+    note = (
+        f"\noverhead at 8 cycles = {at8:.2f}x the 2-cycle baseline "
+        "(paper: communication costs 'will double')"
+        if at8
+        else ""
+    )
+    return table + note
+
+
+def main(argv: List[str] | None = None) -> None:  # pragma: no cover - CLI
+    parser = argparse.ArgumentParser(description="Off-chip latency sweep")
+    parser.add_argument("program", nargs="?", default="matmul")
+    parser.add_argument("--size", type=int, default=None)
+    parser.add_argument(
+        "--latencies", type=int, nargs="+", default=[2, 4, 6, 8, 12, 16]
+    )
+    args = parser.parse_args(argv)
+    from repro.eval.figure12 import run_program
+
+    stats = run_program(args.program, size=args.size)
+    print(render_sweep(args.program, sweep(stats, args.latencies)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

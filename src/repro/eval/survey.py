@@ -1,0 +1,91 @@
+"""The §1 survey comparison: existing interfaces versus this architecture.
+
+Puts the paper-cited per-message overheads of the four interface
+categories next to this reproduction's measured costs (a remote-read
+round trip under the optimized register model takes two instructions of
+handler time), on one cycle axis.
+
+Usage::
+
+    python -m repro.eval.survey [--clock-mhz 25]
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List
+
+from repro.impls.base import BASIC_OFF_CHIP, OPTIMIZED_REGISTER
+from repro.kernels.harness import measure_dispatch, measure_processing, measure_sending
+from repro.survey.models import (
+    DEFAULT_CLOCK_MHZ,
+    SURVEY,
+    SurveyInterface,
+    survey_principles_satisfied,
+)
+from repro.utils.tables import render_table
+
+
+def this_work_rows(clock_mhz: float) -> List[List[object]]:
+    """Measured per-message overhead of this paper's architecture."""
+    rows = []
+    for label, model in (
+        ("this work: optimized register", OPTIMIZED_REGISTER),
+        ("this work: basic off-chip", BASIC_OFF_CHIP),
+    ):
+        send = measure_sending("send1", model, "worst").cycles
+        receive = (
+            measure_dispatch(model).cycles
+            + measure_processing("send1", model).cycles
+        )
+        rows.append(
+            [
+                label,
+                "tightly-coupled NI",
+                f"{(send + receive) / clock_mhz:.2f}",
+                send + receive,
+                4,
+                "measured (Send, 1 word)",
+            ]
+        )
+    return rows
+
+
+def render_survey(clock_mhz: float = DEFAULT_CLOCK_MHZ) -> str:
+    body: List[List[object]] = []
+    for interface in sorted(SURVEY, key=lambda i: -i.cycles(clock_mhz)):
+        cycles = interface.cycles(clock_mhz)
+        body.append(
+            [
+                interface.name,
+                interface.category,
+                f"{cycles / clock_mhz:.2f}",
+                int(cycles),
+                survey_principles_satisfied(interface),
+                interface.citation,
+            ]
+        )
+    body.extend(this_work_rows(clock_mhz))
+    return render_table(
+        [
+            "interface",
+            "category",
+            "overhead (us)",
+            f"cycles @ {clock_mhz:.0f} MHz",
+            "principles (of 4)",
+            "source",
+        ],
+        body,
+        title="Section 1 survey: per-message software overhead",
+    )
+
+
+def main(argv: List[str] | None = None) -> None:  # pragma: no cover - CLI
+    parser = argparse.ArgumentParser(description="Survey comparison")
+    parser.add_argument("--clock-mhz", type=float, default=DEFAULT_CLOCK_MHZ)
+    args = parser.parse_args(argv)
+    print(render_survey(args.clock_mhz))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,184 @@
+"""Regenerate the paper's Table 1 (Section 4.1).
+
+Runs every handler kernel on the behavioural machine under all six
+interface models and prints the measured cycle counts next to the paper's
+published values.  Usage::
+
+    python -m repro.eval.table1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+from repro.impls.base import ALL_MODELS, InterfaceModel
+from repro.isa.machine import Placement
+from repro.kernels import expected as X
+from repro.kernels.harness import (
+    measure_dispatch,
+    measure_processing,
+    measure_pwrite_deferred_line,
+    measure_sending,
+)
+from repro.kernels.sequences import PROCESSING_CASES, SENDING_MESSAGES
+from repro.utils.tables import render_table
+
+Cell = Union[int, Tuple[int, int]]
+
+
+def format_cell(section: str, case: str, cell: Cell) -> str:
+    """Human form of one cell: ``n``, ``lo-hi``, or ``base+slope n``."""
+    if isinstance(cell, tuple):
+        if case == "pwrite_deferred":
+            return f"{cell[0]}+{cell[1]}n"
+        if cell[0] == cell[1]:
+            return str(cell[0])
+        return f"{cell[0]}-{cell[1]}"
+    return str(cell)
+
+
+@dataclass
+class Table1Row:
+    """One measured row with its paper counterpart."""
+
+    section: str
+    case: str
+    measured: Dict[str, Cell]
+    paper: Dict[str, Cell]
+
+    @property
+    def exact_expected(self) -> bool:
+        key = (self.section, self.case if self.section != "dispatch" else "-")
+        return key in X.EXACT_ROWS
+
+    def matches(self) -> bool:
+        return all(
+            self.measured[key] == self.paper[key] for key in X.MODEL_ORDER
+        )
+
+
+def _measure_sending_cell(message: str, model: InterfaceModel) -> Cell:
+    if model.placement is Placement.REGISTER:
+        lo = measure_sending(message, model, "best").cycles
+        hi = measure_sending(message, model, "worst").cycles
+        return (lo, hi) if lo != hi else lo
+    return measure_sending(message, model).cycles
+
+
+def collect_rows() -> List[Table1Row]:
+    """Measure every Table 1 cell under every model."""
+    rows: List[Table1Row] = []
+    for message in SENDING_MESSAGES:
+        rows.append(
+            Table1Row(
+                "sending",
+                message,
+                {m.key: _measure_sending_cell(message, m) for m in ALL_MODELS},
+                dict(X.SENDING_PAPER[message]),
+            )
+        )
+    rows.append(
+        Table1Row(
+            "dispatch",
+            "-",
+            {m.key: measure_dispatch(m).cycles for m in ALL_MODELS},
+            dict(X.DISPATCH_PAPER),
+        )
+    )
+    for case in PROCESSING_CASES:
+        if case == "pwrite_deferred":
+            rows.append(
+                Table1Row(
+                    "processing",
+                    case,
+                    {m.key: measure_pwrite_deferred_line(m) for m in ALL_MODELS},
+                    dict(X.PWRITE_DEFERRED_PAPER),
+                )
+            )
+        else:
+            rows.append(
+                Table1Row(
+                    "processing",
+                    case,
+                    {m.key: measure_processing(case, m).cycles for m in ALL_MODELS},
+                    dict(X.PROCESSING_PAPER[case]),
+                )
+            )
+    return rows
+
+
+def render_report(rows: List[Table1Row] | None = None) -> str:
+    """The full Table 1 report as text."""
+    rows = rows if rows is not None else collect_rows()
+    headers = ["action", "message"] + [
+        f"{key}" for key in X.MODEL_ORDER
+    ] + ["vs paper"]
+    body = []
+    for row in rows:
+        cells = [row.section.upper(), row.case]
+        for key in X.MODEL_ORDER:
+            measured = format_cell(row.section, row.case, row.measured[key])
+            paper = format_cell(row.section, row.case, row.paper[key])
+            cells.append(measured if measured == paper else f"{measured} ({paper})")
+        if row.matches():
+            verdict = "exact"
+        elif row.exact_expected:
+            verdict = "MISMATCH"
+        else:
+            verdict = "structural"
+        cells.append(verdict)
+        body.append(cells)
+    legend = (
+        "Cells show measured cycles; a parenthesised value is the paper's "
+        "where it differs.\n'structural' rows depend on the authors' TAM "
+        "runtime internals; see EXPERIMENTS.md."
+    )
+    table = render_table(
+        headers,
+        body,
+        title="Table 1 - cycles to send, dispatch on, and process each message",
+    )
+    return f"{table}\n\n{legend}"
+
+
+def rows_as_records(rows: List[Table1Row] | None = None) -> List[dict]:
+    """The report as JSON-serialisable records (machine-readable export)."""
+    rows = rows if rows is not None else collect_rows()
+    records = []
+    for row in rows:
+        records.append(
+            {
+                "action": row.section,
+                "message": row.case,
+                "measured": {
+                    key: format_cell(row.section, row.case, row.measured[key])
+                    for key in X.MODEL_ORDER
+                },
+                "paper": {
+                    key: format_cell(row.section, row.case, row.paper[key])
+                    for key in X.MODEL_ORDER
+                },
+                "exact": row.matches(),
+            }
+        )
+    return records
+
+
+def main(argv: List[str] | None = None) -> None:  # pragma: no cover - CLI
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description="Regenerate Table 1")
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable records"
+    )
+    args = parser.parse_args(argv)
+    if args.json:
+        print(json.dumps(rows_as_records(), indent=2))
+    else:
+        print(render_report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,50 @@
+"""The off-chip cache-based implementation (paper Section 3.1).
+
+The interface is another chip — the NIC — on the processor's external data
+cache bus.  A load or store whose upper address bits match the preset
+constant selects the NIC instead of a cache chip; the low address bits
+carry the command encoding of Figure 9.
+
+Characteristics modelled here:
+
+* **No processor modification** — the only placement that leaves the
+  processor chip untouched.
+* **Two dead cycles per interface load** — "in the 88100 processor, a
+  loaded value cannot be used in the two cycles following the load"; the
+  latency parameter is exposed because Section 4.2.3 studies its growth
+  (2 → 8 cycles) as processors outpace off-chip memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.impls.base import BASIC_OFF_CHIP, OPTIMIZED_OFF_CHIP, InterfaceModel
+from repro.isa.costs import OFF_CHIP_COSTS
+
+
+@dataclass(frozen=True)
+class OffChipTraits:
+    """Design characteristics the paper attributes to this placement."""
+
+    requires_processor_change: bool = False
+    on_processor_die: bool = False
+    interface_load_dead_cycles: int = OFF_CHIP_COSTS.ni_load_dead_cycles
+    commands_ride_in: str = "memory address bits (Figure 9)"
+
+
+TRAITS = OffChipTraits()
+
+
+def optimized_model(dead_cycles: int | None = None) -> InterfaceModel:
+    """The optimized off-chip model, optionally at a swept read latency."""
+    if dead_cycles is None:
+        return OPTIMIZED_OFF_CHIP
+    return OPTIMIZED_OFF_CHIP.with_off_chip_latency(dead_cycles)
+
+
+def basic_model(dead_cycles: int | None = None) -> InterfaceModel:
+    """The basic off-chip model, optionally at a swept read latency."""
+    if dead_cycles is None:
+        return BASIC_OFF_CHIP
+    return BASIC_OFF_CHIP.with_off_chip_latency(dead_cycles)

@@ -1,0 +1,107 @@
+"""The cycle-cost rules of the performance evaluation (paper Section 4.1).
+
+The paper counts "the number of 88100 RISC processor cycles" for each
+handler action.  Three rules generate every number in its Table 1, and this
+module encodes exactly those three:
+
+1. **One cycle per issued instruction.**  Commands carried as riders (in
+   triadic-instruction bits or in interface-address bits) are free.
+2. **Off-chip interface loads have two dead cycles** — "in the 88100
+   processor, a loaded value cannot be used in the two cycles following the
+   load" (Section 3.1).  A consumer that issues during the dead window
+   stalls until the value is ready.  On-chip interface accesses take a
+   single cycle (Section 3.2), and data-memory loads are treated as cached
+   single-cycle accesses, as the paper's counts require.
+3. **Control transfers have one delay slot.**  A transfer whose slot the
+   author could fill with useful work charges one cycle; an unfillable slot
+   (the paper singles out the dispatch jump of the *basic* architecture)
+   charges two.
+
+Rules 2 and 3 interact with scheduling: the optimized sequences mask load
+latency and fill delay slots using the ``NextMsgIp`` overlap described in
+Section 2.2.3, and they say so explicitly via the ``masked`` /
+``slot_filled`` instruction flags, so every such assumption is visible in
+the kernel listings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import Instruction, Opcode
+
+MASKABLE_DEAD_CYCLES = 2
+"""Interface-load dead cycles the NextMsgIp overlap can hide.
+
+The optimized handler schedules fill the off-chip baseline's two dead
+cycles with useful work (Section 2.2.3); a longer latency leaves the
+remainder exposed, which is what drives the Section 4.2.3 conclusion that
+off-chip placement stops scaling."""
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-placement timing parameters.
+
+    ``ni_load_dead_cycles`` is the number of cycles after an interface load
+    during which its value cannot be consumed (rule 2).  ``mem_load_dead_
+    cycles`` is the same for data-memory loads (zero everywhere in the
+    paper's accounting, kept as a parameter for the latency-sensitivity
+    sweep).
+    """
+
+    name: str
+    ni_load_dead_cycles: int = 0
+    mem_load_dead_cycles: int = 0
+    delay_slot_cycles: int = 1
+
+    def load_ready_delay(self, instr: Instruction) -> int:
+        """Cycles after issue before ``instr``'s destination is consumable."""
+        if instr.opcode is Opcode.NILOAD:
+            if instr.masked:
+                # The NextMsgIp overlap hides dead cycles behind useful
+                # work, but the amount of overlappable work is fixed by
+                # the handler's length: the optimized schedules
+                # demonstrably cover the paper's 2-cycle baseline, and any
+                # latency beyond that stalls (this is exactly why §4.2.3
+                # concludes off-chip placement stops being viable as
+                # latency grows).
+                return 1 + max(0, self.ni_load_dead_cycles - MASKABLE_DEAD_CYCLES)
+            return 1 + self.ni_load_dead_cycles
+        if instr.opcode is Opcode.LOAD:
+            if instr.masked:
+                return 1
+            return 1 + self.mem_load_dead_cycles
+        return 1
+
+    def control_penalty(self, instr: Instruction) -> int:
+        """Extra cycles charged for a control transfer's delay slot."""
+        if not instr.is_control:
+            return 0
+        return 0 if instr.slot_filled else self.delay_slot_cycles
+
+
+OFF_CHIP_COSTS = CostModel("off-chip cache", ni_load_dead_cycles=2)
+"""Section 3.1: the NIC on the external cache bus; two dead cycles per load."""
+
+ON_CHIP_COSTS = CostModel("on-chip cache", ni_load_dead_cycles=0)
+"""Section 3.2: the interface on the internal cache bus; single-cycle access."""
+
+REGISTER_COSTS = CostModel("register file", ni_load_dead_cycles=0)
+"""Section 3.3: interface registers are general registers; no access cost."""
+
+
+def off_chip_with_latency(read_latency: int) -> CostModel:
+    """An off-chip cost model with ``read_latency``-cycle interface reads.
+
+    Used by the Section 4.2.3 sensitivity study: "if the latency is
+    increased to 8 cycles instead of 2, then the communication costs of the
+    off-chip optimized model will double."  ``read_latency`` counts the
+    dead cycles after the load (the paper's 2-cycle baseline).
+    """
+    if read_latency < 0:
+        raise ValueError(f"negative read latency {read_latency}")
+    return CostModel(
+        f"off-chip cache (latency {read_latency})",
+        ni_load_dead_cycles=read_latency,
+    )

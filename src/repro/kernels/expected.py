@@ -1,0 +1,114 @@
+"""The paper's Table 1, machine readable, with the reproduction's match policy.
+
+Columns follow the paper's order (optimized register / on-chip / off-chip,
+then basic register / on-chip / off-chip), keyed here by
+:attr:`~repro.impls.base.InterfaceModel.key`.  Cell values are:
+
+* an ``int`` — a plain cycle count;
+* a ``(lo, hi)`` tuple — the register-placement SENDING ranges ("the
+  number of instructions needed may depend on whether the values in the
+  message can be computed directly into the output registers");
+* a ``(base, slope)`` tuple — the affine PWrite(deferred) rows,
+  ``base + slope * n`` for *n* deferred readers.
+
+**Match policy.** Rows in :data:`EXACT_ROWS` are reproduced cycle for
+cycle — they follow from the paper's three cost rules plus documented
+conventions, and the test suite asserts equality.  The remaining rows (the
+presence-bit handlers, and the single Write/off-chip cell) depend on the
+authors' TAM runtime internals, which the paper does not list; for those,
+the suite asserts the *structural* facts the paper's argument rests on —
+cross-model deltas, placement orderings, on-chip/off-chip equalities, and
+the per-reader slopes — and EXPERIMENTS.md reports measured-versus-paper
+for every cell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Union
+
+Cell = Union[int, Tuple[int, int]]
+
+OPT_REG = "optimized-register"
+OPT_ON = "optimized-onchip"
+OPT_OFF = "optimized-offchip"
+BAS_REG = "basic-register"
+BAS_ON = "basic-onchip"
+BAS_OFF = "basic-offchip"
+
+MODEL_ORDER = (OPT_REG, OPT_ON, OPT_OFF, BAS_REG, BAS_ON, BAS_OFF)
+
+
+def _row(opt_reg: Cell, opt_on: Cell, opt_off: Cell, bas_reg: Cell, bas_on: Cell, bas_off: Cell) -> Dict[str, Cell]:
+    return {
+        OPT_REG: opt_reg,
+        OPT_ON: opt_on,
+        OPT_OFF: opt_off,
+        BAS_REG: bas_reg,
+        BAS_ON: bas_on,
+        BAS_OFF: bas_off,
+    }
+
+
+SENDING_PAPER: Dict[str, Dict[str, Cell]] = {
+    "send0": _row(2, 3, 3, 3, 4, 4),
+    "send1": _row((2, 3), 4, 4, (3, 4), 5, 5),
+    "send2": _row((2, 4), 5, 5, (3, 5), 6, 6),
+    "pread": _row((2, 4), 5, 5, (3, 5), 7, 7),
+    "pwrite": _row((0, 3), 3, 3, (1, 4), 5, 5),
+    "read": _row((2, 3), 4, 4, (3, 4), 6, 6),
+    "write": _row((0, 2), 2, 2, (1, 3), 4, 4),
+}
+
+DISPATCH_PAPER: Dict[str, int] = _row(1, 2, 2, 5, 7, 8)
+
+PROCESSING_PAPER: Dict[str, Dict[str, int]] = {
+    "send0": _row(1, 1, 3, 1, 1, 3),
+    "send1": _row(2, 3, 5, 2, 3, 5),
+    "send2": _row(3, 5, 6, 3, 5, 6),
+    "read": _row(1, 3, 5, 4, 8, 8),
+    "write": _row(1, 3, 4, 1, 3, 4),
+    "pread_full": _row(9, 12, 13, 12, 17, 17),
+    "pread_empty": _row(19, 23, 23, 19, 23, 23),
+    "pread_deferred": _row(15, 19, 19, 15, 19, 19),
+    "pwrite_empty": _row(14, 17, 17, 14, 17, 17),
+}
+
+PWRITE_DEFERRED_PAPER: Dict[str, Tuple[int, int]] = _row(
+    (15, 6), (19, 8), (19, 8), (16, 6), (20, 8), (20, 8)
+)
+
+EXACT_ROWS = frozenset(
+    [("sending", message) for message in SENDING_PAPER]
+    + [("dispatch", "-")]
+    + [
+        ("processing", "send0"),
+        ("processing", "send1"),
+        ("processing", "send2"),
+        ("processing", "read"),
+    ]
+)
+"""Rows the test suite asserts cycle-exact against the paper."""
+
+EXACT_CELL_EXCEPTIONS = frozenset()
+"""Exact-row cells known to deviate (none at present)."""
+
+STRUCTURAL_ROWS = frozenset(
+    [
+        ("processing", "write"),
+        ("processing", "pread_full"),
+        ("processing", "pread_empty"),
+        ("processing", "pread_deferred"),
+        ("processing", "pwrite_empty"),
+        ("processing", "pwrite_deferred"),
+    ]
+)
+"""Rows asserted structurally (deltas / orderings / slopes), not cycle-exact.
+
+``write`` is near-exact: only its off-chip cell deviates (measured 5 versus
+the paper's 4; the paper's count implies the store consumes its data a
+cycle after issue, which our cost model conservatively does not assume).
+The presence-bit rows embed the authors' TAM-runtime list management whose
+exact instruction sequences the paper does not give; our handlers implement
+the complete I-structure protocol in fewer cycles while preserving every
+cross-model relationship.
+"""

@@ -1,0 +1,673 @@
+"""The handwritten handler kernels behind Table 1 (paper Section 4.1).
+
+Every entry of the paper's Table 1 corresponds to one executable kernel
+built here: a short 88100-style sequence that *performs* the action
+(composes and sends the message, dispatches on it, or processes it against
+real interface and memory state) under one of the six interface models.
+The Table 1 harness (:mod:`repro.eval.table1`) runs each kernel on the
+behavioural machine and reports the measured cycles next to the paper's.
+
+Conventions the kernels rely on (each is called out where used):
+
+* **SEND rides the last operand store** in the memory-mapped placements
+  (Figure 9 allows any store to carry commands); in the register placement
+  it rides the last triadic instruction.
+* **NEXT rides the handler's last read of the input registers**, or the
+  final store when REPLY/FORWARD still needs the input registers.
+* **Reply IPs are compile-time constants** materialised by one ``loadimm``.
+* **The basic architecture's Send id is pinned in a register** (Sends
+  dominate every mix); other ids are materialised at send time.
+* **Register-placement SENDING has two variants**: ``worst`` moves every
+  operand into the output registers explicitly; ``best`` assumes operands
+  were *computed directly into* the output registers by surrounding code
+  (the paper's "values ... computed directly into the output registers"),
+  so those moves — and possibly the instruction carrying SEND — cost this
+  action nothing.  The harness supplies the preloaded values and issues any
+  context-carried SEND, uncounted.
+* **Masked loads / filled delay slots** in the optimized dispatch encode
+  the Section 2.2.3 ``NextMsgIp`` overlap; the flags appear in the
+  listings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import EvaluationError
+from repro.impls.base import InterfaceModel
+from repro.isa.assembler import SequenceBuilder
+from repro.isa.instructions import AluFn, Cond, Sequence
+from repro.isa.machine import Placement
+from repro.kernels import protocol as P
+from repro.nic.interface import SendMode
+
+BASIC_WIRE_TYPE = 2
+"""The 4-bit type basic-architecture messages travel with.
+
+The basic architecture ignores the hardware type field (Section 2.1);
+messages still need *some* legal type on the wire, and 2 avoids the two
+reserved values.
+"""
+
+SENDING_MESSAGES = ("send0", "send1", "send2", "pread", "pwrite", "read", "write")
+PROCESSING_CASES = (
+    "send0",
+    "send1",
+    "send2",
+    "read",
+    "write",
+    "pread_full",
+    "pread_empty",
+    "pread_deferred",
+    "pwrite_empty",
+    "pwrite_deferred",
+)
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One executable Table 1 kernel plus its measurement metadata."""
+
+    sequence: Sequence
+    final_use: Optional[str] = None
+    context_send: Optional[Tuple[SendMode, int]] = None
+    preload_outputs: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def name(self) -> str:
+        return self.sequence.name
+
+
+def _builder(name: str, model: InterfaceModel) -> SequenceBuilder:
+    return SequenceBuilder(f"{name}[{model.key}]", model.placement)
+
+
+def _is_register(model: InterfaceModel) -> bool:
+    return model.placement is Placement.REGISTER
+
+
+# ---------------------------------------------------------------------------
+# SENDING kernels.
+# ---------------------------------------------------------------------------
+
+
+def sending_kernel(
+    message: str, model: InterfaceModel, variant: str = "worst"
+) -> Kernel:
+    """The kernel that composes and sends one ``message`` under ``model``.
+
+    ``variant`` selects the register placement's best/worst case (the
+    ranges in Table 1); memory-mapped placements have a single schedule.
+    """
+    if message not in SENDING_MESSAGES:
+        raise EvaluationError(f"unknown sending kernel {message!r}")
+    if variant not in ("best", "worst"):
+        raise EvaluationError(f"unknown variant {variant!r}")
+    if _is_register(model):
+        return _register_sending(message, model, variant)
+    return _mm_sending(message, model)
+
+
+def _register_sending(message: str, model: InterfaceModel, variant: str) -> Kernel:
+    """Register placement: operands are moved (worst) or in place (best)."""
+    basic = not model.optimized
+    best = variant == "best"
+    b = _builder(f"send:{message}:{variant}", model)
+
+    def wire(mtype: int) -> int:
+        return BASIC_WIRE_TYPE if basic else mtype
+
+    # Moves that the best variant assumes were computed in place.  Each is
+    # (output register, source symbolic register).
+    elidable: Tuple[Tuple[str, str], ...]
+    fixed_head = []  # (emit_fn) steps always paid
+    if message == "send0":
+        fixed_head = [lambda: b.loadimm("o1", P.REPLY_IP, note="thread IP")]
+        elidable = ()
+        closer = ("o0", "fp")
+    elif message == "send1":
+        fixed_head = [lambda: b.loadimm("o1", P.REPLY_IP, note="thread IP")]
+        elidable = (("o2", "v"),)
+        closer = ("o0", "fp")
+    elif message == "send2":
+        fixed_head = [lambda: b.loadimm("o1", P.REPLY_IP, note="thread IP")]
+        elidable = (("o2", "v"), ("o3", "v2"))
+        closer = ("o0", "fp")
+    elif message == "read":
+        fixed_head = [lambda: b.loadimm("o2", P.REPLY_IP, note="reply IP")]
+        elidable = (("o0", "a"),)
+        closer = ("o1", "fp")
+    elif message == "write":
+        fixed_head = []
+        elidable = (("o0", "a"),)
+        closer = ("o1", "v")
+    elif message == "pread":
+        fixed_head = [lambda: b.loadimm("o2", P.REPLY_IP, note="reply IP")]
+        elidable = (("o0", "a"), ("o3", "x"))
+        closer = ("o1", "fp")
+    else:  # pwrite
+        fixed_head = []
+        elidable = (("o0", "a"), ("o1", "x"))
+        closer = ("o2", "v")
+
+    mtypes = {
+        "send0": P.TYPE_SEND,
+        "send1": P.TYPE_SEND,
+        "send2": P.TYPE_SEND,
+        "read": P.TYPE_READ,
+        "write": P.TYPE_WRITE,
+        "pread": P.TYPE_PREAD,
+        "pwrite": P.TYPE_PWRITE,
+    }
+    send_type = wire(mtypes[message])
+    for emit in fixed_head:
+        emit()
+    preload = ()
+    if best:
+        preload = elidable
+    else:
+        for out_reg, src in elidable:
+            b.mov(out_reg, src)
+    if basic:
+        # The 32-bit id written into word 4 (Section 2.2.1's overhead).
+        if message in ("send0", "send1", "send2"):
+            b.mov("o4", "send_id", note="pinned Send id")
+        else:
+            ids = {
+                "read": P.ID_READ,
+                "write": P.ID_WRITE,
+                "pread": P.ID_PREAD,
+                "pwrite": P.ID_PWRITE,
+            }
+            b.loadimm("o4", ids[message], note="message id")
+    # The closing move carries SEND; in the best variants of write/pwrite
+    # (no fixed head, everything in place) even that instruction belongs to
+    # the surrounding computation, so SEND rides context.
+    context_send = None
+    if best and message in ("write", "pwrite") and not basic:
+        preload = elidable + ((closer[0], closer[1]),)
+        context_send = (SendMode.NORMAL, send_type)
+    elif best and message in ("write", "pwrite") and basic:
+        # The id loadimm above is the only counted instruction; SEND still
+        # rides the (uncounted) closing computation.
+        preload = elidable + ((closer[0], closer[1]),)
+        context_send = (SendMode.NORMAL, send_type)
+    else:
+        b.mov(closer[0], closer[1], send_mode=SendMode.NORMAL, send_type=send_type)
+    return Kernel(b.build(), context_send=context_send, preload_outputs=preload)
+
+
+def _mm_sending(message: str, model: InterfaceModel) -> Kernel:
+    """Memory-mapped placements: one store per word, SEND on the last."""
+    basic = not model.optimized
+    b = _builder(f"send:{message}", model)
+
+    def close_optimized(last_reg: str, last_value: str, mtype: int) -> None:
+        b.ni_write(
+            last_reg,
+            last_value,
+            send_mode=SendMode.NORMAL,
+            send_type=mtype,
+            note="SEND rides the final store",
+        )
+
+    def close_basic(mtype_ignored: int) -> None:
+        if message in ("send0", "send1", "send2"):
+            b.ni_write(
+                "o4",
+                "send_id",
+                send_mode=SendMode.NORMAL,
+                send_type=BASIC_WIRE_TYPE,
+                note="pinned Send id; SEND rides its store",
+            )
+        else:
+            ids = {
+                "read": P.ID_READ,
+                "write": P.ID_WRITE,
+                "pread": P.ID_PREAD,
+                "pwrite": P.ID_PWRITE,
+            }
+            b.loadimm("id", ids[message], note="message id")
+            b.ni_write(
+                "o4",
+                "id",
+                send_mode=SendMode.NORMAL,
+                send_type=BASIC_WIRE_TYPE,
+                note="SEND rides the id store",
+            )
+
+    if message in ("send0", "send1", "send2"):
+        nwords = int(message[-1])
+        b.ni_write("o0", "fp", note="FP (carries destination)")
+        b.loadimm("t", P.REPLY_IP, note="thread IP")
+        # Word stores in order; the last one carries SEND when optimized.
+        stores = [("o1", "t")]
+        if nwords >= 1:
+            stores.append(("o2", "v"))
+        if nwords >= 2:
+            stores.append(("o3", "v2"))
+        for reg, value in stores[:-1]:
+            b.ni_write(reg, value)
+        if basic:
+            b.ni_write(*stores[-1])
+            close_basic(P.TYPE_SEND)
+        else:
+            close_optimized(stores[-1][0], stores[-1][1], P.TYPE_SEND)
+    elif message == "read":
+        b.ni_write("o0", "a", note="remote address")
+        b.ni_write("o1", "fp", note="reply FP")
+        b.loadimm("t", P.REPLY_IP, note="reply IP")
+        if basic:
+            b.ni_write("o2", "t")
+            close_basic(P.TYPE_READ)
+        else:
+            close_optimized("o2", "t", P.TYPE_READ)
+    elif message == "write":
+        b.ni_write("o0", "a", note="remote address")
+        if basic:
+            b.ni_write("o1", "v")
+            close_basic(P.TYPE_WRITE)
+        else:
+            close_optimized("o1", "v", P.TYPE_WRITE)
+    elif message == "pread":
+        b.ni_write("o0", "a", note="array descriptor")
+        b.ni_write("o3", "x", note="element index")
+        b.ni_write("o1", "fp", note="reply FP")
+        b.loadimm("t", P.REPLY_IP, note="reply IP")
+        if basic:
+            b.ni_write("o2", "t")
+            close_basic(P.TYPE_PREAD)
+        else:
+            close_optimized("o2", "t", P.TYPE_PREAD)
+    elif message == "pwrite":
+        b.ni_write("o0", "a", note="array descriptor")
+        b.ni_write("o1", "x", note="element index")
+        if basic:
+            b.ni_write("o2", "v")
+            close_basic(P.TYPE_PWRITE)
+        else:
+            close_optimized("o2", "v", P.TYPE_PWRITE)
+    return Kernel(b.build())
+
+
+# ---------------------------------------------------------------------------
+# DISPATCHING kernels.
+# ---------------------------------------------------------------------------
+
+
+def dispatch_kernel(model: InterfaceModel) -> Kernel:
+    """Poll for and dispatch on an arrived message (Figure 5/6 top halves)."""
+    b = _builder("dispatch", model)
+    if model.optimized:
+        if _is_register(model):
+            b.jump_reg(
+                "MsgIp",
+                slot_filled=True,
+                note="slot overlapped per §2.2.3 (NextMsgIp)",
+            )
+        else:
+            b.ni_read(
+                "t",
+                "MsgIp",
+                masked=True,
+                note="issued early via NextMsgIp overlap (§2.2.3)",
+            )
+            b.jump_reg(
+                "t", slot_filled=True, note="slot overlapped per §2.2.3"
+            )
+        return Kernel(b.build())
+    # Basic architecture: poll STATUS, index the handler table with the
+    # 32-bit id in word 4, jump.  The paper notes the basic dispatch jump's
+    # delay slot cannot be filled.
+    if _is_register(model):
+        b.branch_bit(
+            0, "STATUS", "idle", on_set=False, slot_filled=True, note="poll msg_valid"
+        )
+        b.alui(AluFn.SHL, "t", "i4", P.BASIC_HANDLER_STRIDE_SHIFT, note="id -> offset")
+        b.alu(AluFn.ADD, "t", "t", "ip_base")
+        b.jump_reg("t", note="unfillable slot (+1)")
+    else:
+        b.ni_read("stat", "STATUS")
+        b.ni_read("id", "i4", note="32-bit message id")
+        b.branch_bit(
+            0, "stat", "idle", on_set=False, slot_filled=True, note="poll msg_valid"
+        )
+        b.alui(AluFn.SHL, "t", "id", P.BASIC_HANDLER_STRIDE_SHIFT, note="id -> offset")
+        b.alu(AluFn.ADD, "t", "t", "ip_base")
+        b.jump_reg("t", note="unfillable slot (+1)")
+    b.label("idle").halt()
+    return Kernel(b.build())
+
+
+# ---------------------------------------------------------------------------
+# PROCESSING kernels.
+# ---------------------------------------------------------------------------
+
+
+def processing_kernel(case: str, model: InterfaceModel) -> Kernel:
+    """Handle one arrived message of the given ``case`` under ``model``."""
+    if case not in PROCESSING_CASES:
+        raise EvaluationError(f"unknown processing kernel {case!r}")
+    if case.startswith("send"):
+        return _proc_send(int(case[-1]), model)
+    if case == "read":
+        return _proc_read(model)
+    if case == "write":
+        return _proc_write(model)
+    if case.startswith("pread"):
+        return _proc_pread(model)
+    return _proc_pwrite(model)
+
+
+def _proc_send(nwords: int, model: InterfaceModel) -> Kernel:
+    """A Send invokes a thread; the thread banks 0-2 message words.
+
+    Identical for basic and optimized architectures (Table 1 agrees): a
+    Send uses no id generation on receipt, no reply, and dispatch is
+    counted separately.
+    """
+    b = _builder(f"proc:send{nwords}", model)
+    if _is_register(model):
+        if nwords == 0:
+            b.mov("fp", "i0", do_next=True, note="thread takes its FP")
+        elif nwords == 1:
+            b.mov("fp", "i0", note="thread takes its FP")
+            b.mem_store("i2", "fp", P.FRAME_WORD0_OFFSET, do_next=True)
+        else:
+            b.mov("fp", "i0", note="thread takes its FP")
+            b.mem_store("i2", "fp", P.FRAME_WORD0_OFFSET)
+            b.mem_store("i3", "fp", P.FRAME_WORD1_OFFSET, do_next=True)
+        return Kernel(b.build(), final_use="fp" if nwords == 0 else None)
+    if nwords == 0:
+        b.ni_read("fp", "i0", do_next=True, note="thread takes its FP")
+        return Kernel(b.build(), final_use="fp")
+    if nwords == 1:
+        b.ni_read("fp", "i0")
+        b.ni_read("v", "i2", do_next=True, note="NEXT rides the last input read")
+        b.mem_store("v", "fp", P.FRAME_WORD0_OFFSET)
+        return Kernel(b.build())
+    b.ni_read("fp", "i0")
+    b.ni_read("v", "i2")
+    b.ni_read("v2", "i3", do_next=True, note="NEXT rides the last input read")
+    b.mem_store("v", "fp", P.FRAME_WORD0_OFFSET)
+    b.mem_store("v2", "fp", P.FRAME_WORD1_OFFSET)
+    return Kernel(b.build())
+
+
+def _proc_read(model: InterfaceModel) -> Kernel:
+    """Remote read: load the word, reply with its value (Figures 5 and 6)."""
+    b = _builder("proc:read", model)
+    if model.optimized:
+        if _is_register(model):
+            # The paper's flagship: one instruction (plus dispatch) total.
+            b.mem_load(
+                "o2",
+                "i0",
+                send_mode=SendMode.REPLY,
+                send_type=P.TYPE_SEND,
+                do_next=True,
+                note="load straight into o2; REPLY + NEXT ride along",
+            )
+            return Kernel(b.build())
+        b.ni_read("a", "i0")
+        b.mem_load("v", "a")
+        b.ni_write(
+            "o2",
+            "v",
+            send_mode=SendMode.REPLY,
+            send_type=P.TYPE_SEND,
+            do_next=True,
+            note="REPLY composes head from i1/i2; NEXT after",
+        )
+        return Kernel(b.build())
+    # Basic: copy the continuation explicitly, id the reply as a Send.
+    if _is_register(model):
+        b.mov("o0", "i1", note="reply FP copied by hand")
+        b.mov("o1", "i2", note="reply IP copied by hand")
+        b.mem_load("o2", "i0")
+        b.mov(
+            "o4",
+            "send_id",
+            send_mode=SendMode.NORMAL,
+            send_type=BASIC_WIRE_TYPE,
+            do_next=True,
+        )
+        return Kernel(b.build())
+    b.ni_read("a", "i0")
+    b.ni_read("f", "i1")
+    b.ni_read("ip2", "i2", do_next=True, note="NEXT rides the last input read")
+    b.mem_load("v", "a")
+    b.ni_write("o0", "f")
+    b.ni_write("o1", "ip2")
+    b.ni_write("o2", "v")
+    b.ni_write(
+        "o4",
+        "send_id",
+        send_mode=SendMode.NORMAL,
+        send_type=BASIC_WIRE_TYPE,
+        note="SEND rides the id store",
+    )
+    return Kernel(b.build())
+
+
+def _proc_write(model: InterfaceModel) -> Kernel:
+    """Remote write: store the value.  Identical basic vs optimized."""
+    b = _builder("proc:write", model)
+    if _is_register(model):
+        b.mem_store("i1", "i0", do_next=True, note="one instruction")
+        return Kernel(b.build())
+    b.ni_read("a", "i0")
+    b.ni_read("v", "i1", do_next=True, note="NEXT rides the last input read")
+    b.mem_store("v", "a")
+    return Kernel(b.build())
+
+
+def _element_address_register(b: SequenceBuilder, index_reg: str) -> None:
+    """desc + 8*index, register placement (inputs read in place)."""
+    b.alui(AluFn.SHL, "t", index_reg, P.ELEMENT_SHIFT, note="index -> byte offset")
+    b.alu(AluFn.ADD, "a", "i0", "t", note="element address")
+
+
+def _defer_reader_register(b: SequenceBuilder, basic: bool) -> None:
+    """Push (i1, i2) onto the element's deferred list; register placement.
+
+    The same code serves the empty and the already-deferred element: the
+    old tag (0 or list head) becomes the new node's next pointer.
+    """
+    b.mem_load("node", "heap", note="free-list head")
+    b.mem_load("nxt", "node", note="next free node")
+    b.mem_store("nxt", "heap")
+    b.mem_store("i1", "node", P.NODE_FP_OFFSET)
+    b.mem_store("i2", "node", P.NODE_IP_OFFSET)
+    b.mem_store("tag", "node", P.NODE_NEXT_OFFSET, note="chain old tag")
+    b.mem_store("node", "a", P.TAG_OFFSET, do_next=True, note="tag <- node")
+
+
+def _proc_pread(model: InterfaceModel) -> Kernel:
+    """PRead: reply when full, defer the reader otherwise.
+
+    One kernel covers the full / empty / deferred rows; the harness sets
+    the element state so the measured path is the intended one.  Empty and
+    already-deferred share code here (the old tag is the chained next
+    pointer), unlike the paper's runtime — see EXPERIMENTS.md.
+    """
+    b = _builder("proc:pread", model)
+    basic = not model.optimized
+    if _is_register(model):
+        _element_address_register(b, "i3")
+        b.mem_load("tag", "a", P.TAG_OFFSET)
+        b.branch_cond(
+            Cond.NE, "tag", P.TAG_FULL, "defer", slot_filled=True, note="present?"
+        )
+        if basic:
+            b.mov("o0", "i1", note="reply FP copied by hand")
+            b.mov("o1", "i2", note="reply IP copied by hand")
+            b.mem_load("o2", "a", P.VALUE_OFFSET)
+            b.mov(
+                "o4",
+                "send_id",
+                send_mode=SendMode.NORMAL,
+                send_type=BASIC_WIRE_TYPE,
+                do_next=True,
+            )
+        else:
+            b.mem_load(
+                "o2",
+                "a",
+                P.VALUE_OFFSET,
+                send_mode=SendMode.REPLY,
+                send_type=P.TYPE_SEND,
+                do_next=True,
+                note="value straight to o2; REPLY + NEXT ride along",
+            )
+        b.halt()
+        b.label("defer")
+        _defer_reader_register(b, basic)
+        return Kernel(b.build())
+    # Memory mapped.  Off-chip-friendly order: interface loads first.
+    b.ni_read("x", "i3", note="element index")
+    b.ni_read("b", "i0", note="array descriptor")
+    if basic:
+        b.ni_read("f", "i1")
+        b.ni_read("ip2", "i2", do_next=True, note="NEXT rides the last input read")
+    b.alui(AluFn.SHL, "t", "x", P.ELEMENT_SHIFT, note="index -> byte offset")
+    b.alu(AluFn.ADD, "a", "b", "t", note="element address")
+    b.mem_load("tag", "a", P.TAG_OFFSET)
+    if basic:
+        b.ni_write("o0", "f", note="scheduled before the branch to hide latency")
+        b.branch_cond(
+            Cond.NE, "tag", P.TAG_FULL, "defer", slot_filled=True, note="present?"
+        )
+        b.ni_write("o1", "ip2")
+        b.mem_load("v", "a", P.VALUE_OFFSET)
+        b.ni_write("o2", "v")
+        b.ni_write(
+            "o4",
+            "send_id",
+            send_mode=SendMode.NORMAL,
+            send_type=BASIC_WIRE_TYPE,
+            note="SEND rides the id store",
+        )
+    else:
+        b.branch_cond(
+            Cond.NE, "tag", P.TAG_FULL, "defer", slot_filled=True, note="present?"
+        )
+        b.mem_load("v", "a", P.VALUE_OFFSET)
+        b.ni_write(
+            "o2",
+            "v",
+            send_mode=SendMode.REPLY,
+            send_type=P.TYPE_SEND,
+            do_next=True,
+            note="REPLY composes head from i1/i2; NEXT after",
+        )
+    b.halt()
+    b.label("defer")
+    if not basic:
+        b.ni_read("f", "i1")
+        b.ni_read("ip2", "i2", do_next=True, note="NEXT rides the last input read")
+    b.mem_load("node", "heap", note="free-list head")
+    b.mem_load("nxt", "node", note="next free node")
+    b.mem_store("nxt", "heap")
+    b.mem_store("f", "node", P.NODE_FP_OFFSET)
+    b.mem_store("ip2", "node", P.NODE_IP_OFFSET)
+    b.mem_store("tag", "node", P.NODE_NEXT_OFFSET, note="chain old tag")
+    b.mem_store("node", "a", P.TAG_OFFSET, note="tag <- node")
+    return Kernel(b.build())
+
+
+def _proc_pwrite(model: InterfaceModel) -> Kernel:
+    """PWrite: store the value; satisfy any deferred readers by FORWARD.
+
+    Optimized models forward the value in hardware (i2 rides into the
+    outgoing word 2); basic models bank it into ``o2`` once before the
+    loop, which persists across sends.  Deferred nodes are not re-chained
+    onto the free list inside the loop (arena reclamation — see
+    EXPERIMENTS.md), matching the paper's per-reader slopes.
+    """
+    b = _builder("proc:pwrite", model)
+    basic = not model.optimized
+    if _is_register(model):
+        _element_address_register(b, "i1")
+        b.mem_load("tag", "a", P.TAG_OFFSET)
+        b.mem_store("i2", "a", P.VALUE_OFFSET, note="write the value")
+        b.branch_cond(
+            Cond.NE, "tag", P.TAG_EMPTY, "readers", slot_filled=True
+        )
+        b.loadimm("one", P.TAG_FULL)
+        b.mem_store("one", "a", P.TAG_OFFSET, do_next=True, note="tag <- FULL")
+        b.halt()
+        b.label("readers")
+        b.branch_cond(
+            Cond.EQ, "tag", P.TAG_FULL, "error", slot_filled=True, note="double write?"
+        )
+        if basic:
+            b.mov("o2", "i2", note="value banked once; persists across sends")
+            b.mov("o4", "send_id", note="Send id banked once")
+        b.mov("p", "tag", note="deferred-list head")
+        b.label("loop").mem_load("o0", "p", P.NODE_FP_OFFSET)
+        b.mem_load("o1", "p", P.NODE_IP_OFFSET)
+        b.mem_load("nxt", "p", P.NODE_NEXT_OFFSET)
+        if basic:
+            b.ni_command(send_mode=SendMode.NORMAL, send_type=BASIC_WIRE_TYPE)
+        else:
+            b.ni_command(
+                send_mode=SendMode.FORWARD,
+                send_type=P.TYPE_SEND,
+                note="value rides from i2 in hardware",
+            )
+        b.mov("p", "nxt")
+        b.branch_cond(Cond.NE, "p", 0, "loop", slot_filled=True)
+        b.loadimm("one", P.TAG_FULL)
+        b.mem_store("one", "a", P.TAG_OFFSET, do_next=True, note="tag <- FULL")
+        b.halt()
+        b.label("error").halt()
+        return Kernel(b.build())
+    # Memory mapped.  All three interface loads come first so the off-chip
+    # dead cycles are fully covered by the address arithmetic — the paper's
+    # on-chip and off-chip PWrite columns are equal for the same reason.
+    b.ni_read("x", "i1", note="element index")
+    b.ni_read("b", "i0", note="array descriptor")
+    b.ni_read("v", "i2", note="copy for the store; i2 also feeds FORWARD")
+    b.alui(AluFn.SHL, "t", "x", P.ELEMENT_SHIFT, note="index -> byte offset")
+    b.alu(AluFn.ADD, "a", "b", "t", note="element address")
+    b.mem_load("tag", "a", P.TAG_OFFSET)
+    b.mem_store("v", "a", P.VALUE_OFFSET, note="write the value")
+    b.branch_cond(Cond.NE, "tag", P.TAG_EMPTY, "readers", slot_filled=True)
+    # Empty: set the tag and release the input registers.  NEXT cannot ride
+    # an input read here (the FORWARD path shares the prefix and needs the
+    # message), so it costs one bare command.
+    b.loadimm("one", P.TAG_FULL)
+    b.mem_store("one", "a", P.TAG_OFFSET, note="tag <- FULL")
+    b.ni_command(do_next=True, note="input registers released")
+    b.halt()
+    b.label("readers")
+    b.branch_cond(
+        Cond.EQ, "tag", P.TAG_FULL, "error", slot_filled=True, note="double write?"
+    )
+    if basic:
+        b.ni_write("o2", "v", note="value banked once; persists across sends")
+        b.ni_write("o4", "send_id", note="Send id banked once")
+    b.mov("p", "tag", note="deferred-list head")
+    b.label("loop").mem_load("f", "p", P.NODE_FP_OFFSET)
+    b.mem_load("ip2", "p", P.NODE_IP_OFFSET)
+    b.mem_load("nxt", "p", P.NODE_NEXT_OFFSET)
+    b.ni_write("o0", "f")
+    b.ni_write("o1", "ip2")
+    if basic:
+        b.ni_command(send_mode=SendMode.NORMAL, send_type=BASIC_WIRE_TYPE)
+    else:
+        b.ni_command(
+            send_mode=SendMode.FORWARD,
+            send_type=P.TYPE_SEND,
+            note="value rides from i2 in hardware",
+        )
+    b.mov("p", "nxt")
+    b.branch_cond(Cond.NE, "p", 0, "loop", slot_filled=True)
+    b.loadimm("one", P.TAG_FULL)
+    b.mem_store("one", "a", P.TAG_OFFSET, note="tag <- FULL")
+    b.ni_command(do_next=True, note="input registers finally released")
+    b.halt()
+    b.label("error").halt()
+    return Kernel(b.build())

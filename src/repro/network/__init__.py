@@ -1,0 +1,16 @@
+"""Interconnection-network substrate: topologies, routers, the fabric."""
+
+from repro.network.fabric import Fabric, FabricStats
+from repro.network.router import InTransit, Router
+from repro.network.topology import Hypercube, Mesh2D, Topology, Torus2D
+
+__all__ = [
+    "Fabric",
+    "FabricStats",
+    "Hypercube",
+    "InTransit",
+    "Mesh2D",
+    "Router",
+    "Topology",
+    "Torus2D",
+]

@@ -1,0 +1,182 @@
+"""The whole-machine fabric: interfaces wired through routers.
+
+The fabric advances in cycles.  Each cycle, every router moves at most one
+message per output (link or ejection port), always subject to the next
+buffer's credit; every interface's output queue feeds its router's
+injection buffer, and ejected messages are delivered through
+:meth:`NetworkInterface.deliver` — which refuses when the input queue is
+full, pushing the backpressure chain the paper describes in Section 2.1.1:
+
+    "its input message queue backs up into the network.  As the network
+    becomes clogged, processors can no longer transmit messages and
+    eventually their output queues fill up."
+
+Latency model: one hop per cycle per message, plus a configurable
+per-message serialization latency at injection (defaulting to the six
+flit times of the RTL model).  The evaluation's instruction counts never
+depend on fabric latency (the paper's simulator "did not model ... any
+network latency"), but the examples and the flow-control tests exercise
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import NetworkError
+from repro.network.router import InTransit, Router
+from repro.network.topology import Topology
+from repro.nic.interface import NetworkInterface
+from repro.nic.rtl import FLITS_PER_MESSAGE
+
+
+@dataclass
+class FabricStats:
+    cycles: int = 0
+    delivered: int = 0
+    total_hops: int = 0
+    total_latency: int = 0
+    deliveries_refused: int = 0
+
+    @property
+    def mean_hops(self) -> float:
+        return self.total_hops / self.delivered if self.delivered else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.delivered if self.delivered else 0.0
+
+
+class Fabric:
+    """Routers plus interfaces over a :class:`~repro.network.topology.Topology`."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        interfaces: Optional[Sequence[NetworkInterface]] = None,
+        link_buffer_depth: int = 4,
+        serialization_cycles: int = FLITS_PER_MESSAGE,
+    ) -> None:
+        self.topology = topology
+        if interfaces is None:
+            interfaces = [NetworkInterface(node=n) for n in range(topology.n_nodes)]
+        if len(interfaces) != topology.n_nodes:
+            raise NetworkError(
+                f"{len(interfaces)} interfaces for {topology.n_nodes} nodes"
+            )
+        self.interfaces: List[NetworkInterface] = list(interfaces)
+        self.routers = [
+            Router(node, topology.neighbors(node), link_buffer_depth)
+            for node in range(topology.n_nodes)
+        ]
+        self.serialization_cycles = max(1, serialization_cycles)
+        self._injection_timers: Dict[int, int] = {}
+        self.stats = FabricStats()
+
+    def interface(self, node: int) -> NetworkInterface:
+        return self.interfaces[self.topology.check_node(node)]
+
+    # ------------------------------------------------------------------
+    # Cycle advance.
+    # ------------------------------------------------------------------
+
+    def step(self) -> int:
+        """Advance one cycle; returns the number of deliveries made."""
+        self.stats.cycles += 1
+        delivered = self._move_messages()
+        self._inject_from_interfaces()
+        return delivered
+
+    def _move_messages(self) -> int:
+        delivered = 0
+        # Snapshot service decisions before moving anything so a message
+        # cannot traverse two links in one cycle.
+        moves = []
+        for router in self.routers:
+            outputs_used = set()
+            for source in router.pending_sources():
+                item = router.peek(source)
+                destination = item.message.destination
+                if destination == router.node:
+                    port = ("eject", router.node)
+                else:
+                    port = ("link", self.topology.next_hop(router.node, destination))
+                if port in outputs_used:
+                    continue
+                outputs_used.add(port)
+                moves.append((router, source, port))
+        for router, source, port in moves:
+            kind, target = port
+            item = router.peek(source)
+            if kind == "eject":
+                interface = self.interfaces[router.node]
+                if interface.deliver(item.message):
+                    router.take(source)
+                    router.stats.ejected += 1
+                    delivered += 1
+                    self.stats.delivered += 1
+                    self.stats.total_hops += item.hops
+                    self.stats.total_latency += self.stats.cycles - item.injected_at
+                else:
+                    self.stats.deliveries_refused += 1
+                    router.stats.blocked_cycles += 1
+            else:
+                next_router = self.routers[target]
+                if next_router.can_accept_from(router.node):
+                    next_router.accept_from(router.node, router.take(source))
+                else:
+                    router.stats.blocked_cycles += 1
+        return delivered
+
+    def _inject_from_interfaces(self) -> None:
+        for node, interface in enumerate(self.interfaces):
+            router = self.routers[node]
+            if interface.peek_outgoing() is None:
+                self._injection_timers.pop(node, None)
+                continue
+            if not router.can_inject():
+                continue
+            # Model flit-serial injection: a message occupies the channel
+            # for serialization_cycles before entering the router.
+            timer = self._injection_timers.get(node, self.serialization_cycles)
+            timer -= 1
+            if timer > 0:
+                self._injection_timers[node] = timer
+                continue
+            self._injection_timers.pop(node, None)
+            message = interface.transmit()
+            assert message is not None
+            router.inject(InTransit(message, injected_at=self.stats.cycles))
+
+    # ------------------------------------------------------------------
+    # Convenience drivers.
+    # ------------------------------------------------------------------
+
+    def in_flight(self) -> int:
+        """Messages currently inside routers (not counting endpoint queues)."""
+        return sum(router.occupancy for router in self.routers)
+
+    def pending(self) -> int:
+        """All undelivered traffic: router occupancy plus output queues."""
+        return self.in_flight() + sum(
+            ni.output_queue.depth for ni in self.interfaces
+        )
+
+    def run_until_quiescent(self, max_cycles: int = 100_000) -> int:
+        """Step until no traffic remains in routers or output queues.
+
+        Input queues may remain non-empty (that is endpoint work); raises
+        if the fabric cannot drain — e.g. receivers never accept — within
+        ``max_cycles``.
+        """
+        cycles = 0
+        while self.pending():
+            self.step()
+            cycles += 1
+            if cycles > max_cycles:
+                raise NetworkError(
+                    f"fabric failed to drain within {max_cycles} cycles "
+                    f"({self.pending()} messages pending)"
+                )
+        return cycles

@@ -1,0 +1,130 @@
+"""A per-node router with bounded buffers and credit backpressure.
+
+The router moves whole messages (the flit-serial view lives in
+:mod:`repro.nic.rtl`); what matters to the architecture's flow-control
+story (paper Section 2.1.1) is preserved exactly:
+
+* every buffer is bounded, so a slow receiver backs the network up;
+* a message advances only when the next buffer has space — credit flow
+  control — so nothing is ever dropped;
+* when the backpressure reaches a sender's output queue, its ``SEND``
+  stalls or traps per the CONTROL register.
+
+Each router has one input buffer per incoming link, an injection buffer
+fed by the local interface's output queue, and an ejection path into the
+local interface's input queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.nic.messages import Message
+
+
+@dataclass
+class InTransit:
+    """A message inside the fabric, with bookkeeping for statistics."""
+
+    message: Message
+    injected_at: int
+    hops: int = 0
+
+
+@dataclass
+class RouterStats:
+    injected: int = 0
+    forwarded: int = 0
+    ejected: int = 0
+    blocked_cycles: int = 0
+
+
+class Router:
+    """One node's router."""
+
+    def __init__(
+        self,
+        node: int,
+        neighbors: Tuple[int, ...],
+        link_buffer_depth: int = 4,
+        injection_depth: int = 4,
+    ) -> None:
+        if link_buffer_depth < 1 or injection_depth < 1:
+            raise NetworkError("router buffers must hold at least one message")
+        self.node = node
+        self.link_buffer_depth = link_buffer_depth
+        self.injection_depth = injection_depth
+        self.in_buffers: Dict[int, Deque[InTransit]] = {
+            neighbor: deque() for neighbor in neighbors
+        }
+        self.injection: Deque[InTransit] = deque()
+        self.stats = RouterStats()
+
+    # ------------------------------------------------------------------
+    # Capacity checks (credits).
+    # ------------------------------------------------------------------
+
+    def can_accept_from(self, neighbor: int) -> bool:
+        if neighbor not in self.in_buffers:
+            raise NetworkError(
+                f"router {self.node} has no link from {neighbor}"
+            )
+        return len(self.in_buffers[neighbor]) < self.link_buffer_depth
+
+    def can_inject(self) -> bool:
+        return len(self.injection) < self.injection_depth
+
+    # ------------------------------------------------------------------
+    # Data movement.
+    # ------------------------------------------------------------------
+
+    def accept_from(self, neighbor: int, item: InTransit) -> None:
+        if not self.can_accept_from(neighbor):
+            raise NetworkError(
+                f"router {self.node}: link buffer from {neighbor} is full"
+            )
+        item.hops += 1
+        self.in_buffers[neighbor].append(item)
+        self.stats.forwarded += 1
+
+    def inject(self, item: InTransit) -> None:
+        if not self.can_inject():
+            raise NetworkError(f"router {self.node}: injection buffer full")
+        self.injection.append(item)
+        self.stats.injected += 1
+
+    def pending_sources(self) -> List[Optional[int]]:
+        """Buffer identifiers with a message ready, in service order.
+
+        ``None`` identifies the injection buffer.  Link buffers are served
+        before injection so network traffic drains ahead of new load —
+        the usual anti-livelock priority.
+        """
+        order: List[Optional[int]] = [
+            neighbor for neighbor, buffer in self.in_buffers.items() if buffer
+        ]
+        if self.injection:
+            order.append(None)
+        return order
+
+    def peek(self, source: Optional[int]) -> InTransit:
+        buffer = self.injection if source is None else self.in_buffers[source]
+        if not buffer:
+            raise NetworkError(f"router {self.node}: buffer {source} is empty")
+        return buffer[0]
+
+    def take(self, source: Optional[int]) -> InTransit:
+        buffer = self.injection if source is None else self.in_buffers[source]
+        if not buffer:
+            raise NetworkError(f"router {self.node}: buffer {source} is empty")
+        return buffer.popleft()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.injection) + sum(len(b) for b in self.in_buffers.values())
+
+    def is_idle(self) -> bool:
+        return self.occupancy == 0

@@ -1,0 +1,180 @@
+"""Interconnection topologies and deterministic routing.
+
+The paper's machines (NCUBE, iPSC/2, CM-5, J-Machine relatives) span
+hypercubes, fat trees, and meshes; the architecture itself only assumes
+*some* network that delivers five-word messages and exerts backpressure.
+This module provides the three classic direct topologies with deterministic
+minimal routing so the fabric's behaviour is reproducible:
+
+* :class:`Mesh2D` — k × m mesh, dimension-order (X then Y) routing;
+* :class:`Torus2D` — with wraparound links, still dimension-order;
+* :class:`Hypercube` — dimension-order on the lowest differing bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.errors import RoutingError
+
+
+class Topology:
+    """Abstract topology: node count, links, and a deterministic next hop."""
+
+    n_nodes: int
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        """Nodes one link away from ``node``."""
+        raise NotImplementedError
+
+    def next_hop(self, node: int, destination: int) -> int:
+        """The deterministic next node on the route to ``destination``."""
+        raise NotImplementedError
+
+    def check_node(self, node: int) -> int:
+        if node < 0 or node >= self.n_nodes:
+            raise RoutingError(
+                f"node {node} outside topology of {self.n_nodes} nodes"
+            )
+        return node
+
+    def route(self, source: int, destination: int, max_hops: int = 10_000) -> List[int]:
+        """The full deterministic route, endpoints included."""
+        self.check_node(source)
+        self.check_node(destination)
+        path = [source]
+        current = source
+        while current != destination:
+            current = self.next_hop(current, destination)
+            path.append(current)
+            if len(path) > max_hops:
+                raise RoutingError(
+                    f"route {source}->{destination} exceeded {max_hops} hops"
+                )
+        return path
+
+    def distance(self, source: int, destination: int) -> int:
+        """Hop count of the deterministic route."""
+        return len(self.route(source, destination)) - 1
+
+    def links(self) -> Iterable[Tuple[int, int]]:
+        """All directed links as (from, to) pairs."""
+        for node in range(self.n_nodes):
+            for neighbor in self.neighbors(node):
+                yield node, neighbor
+
+
+@dataclass
+class Mesh2D(Topology):
+    """A width × height mesh with dimension-order (X-then-Y) routing.
+
+    Dimension-order routing is deadlock-free on a mesh, which keeps the
+    flow-control experiments honest: any observed clogging comes from
+    endpoint queues, not routing cycles.
+    """
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise RoutingError("mesh dimensions must be at least 1x1")
+        self.n_nodes = self.width * self.height
+
+    def coordinates(self, node: int) -> Tuple[int, int]:
+        self.check_node(node)
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise RoutingError(f"({x}, {y}) outside {self.width}x{self.height} mesh")
+        return y * self.width + x
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        x, y = self.coordinates(node)
+        result = []
+        if x > 0:
+            result.append(self.node_at(x - 1, y))
+        if x < self.width - 1:
+            result.append(self.node_at(x + 1, y))
+        if y > 0:
+            result.append(self.node_at(x, y - 1))
+        if y < self.height - 1:
+            result.append(self.node_at(x, y + 1))
+        return tuple(result)
+
+    def next_hop(self, node: int, destination: int) -> int:
+        x, y = self.coordinates(node)
+        dx, dy = self.coordinates(self.check_node(destination))
+        if x < dx:
+            return self.node_at(x + 1, y)
+        if x > dx:
+            return self.node_at(x - 1, y)
+        if y < dy:
+            return self.node_at(x, y + 1)
+        if y > dy:
+            return self.node_at(x, y - 1)
+        raise RoutingError(f"next_hop called at the destination {node}")
+
+
+@dataclass
+class Torus2D(Mesh2D):
+    """A width × height torus: the mesh plus wraparound links."""
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        x, y = self.coordinates(node)
+        return tuple(
+            {
+                self.node_at((x - 1) % self.width, y),
+                self.node_at((x + 1) % self.width, y),
+                self.node_at(x, (y - 1) % self.height),
+                self.node_at(x, (y + 1) % self.height),
+            }
+            - {node}
+        )
+
+    @staticmethod
+    def _step_toward(position: int, target: int, size: int) -> int:
+        forward = (target - position) % size
+        backward = (position - target) % size
+        if forward == 0:
+            return position
+        if forward <= backward:
+            return (position + 1) % size
+        return (position - 1) % size
+
+    def next_hop(self, node: int, destination: int) -> int:
+        x, y = self.coordinates(node)
+        dx, dy = self.coordinates(self.check_node(destination))
+        nx = self._step_toward(x, dx, self.width)
+        if nx != x:
+            return self.node_at(nx, y)
+        ny = self._step_toward(y, dy, self.height)
+        if ny != y:
+            return self.node_at(x, ny)
+        raise RoutingError(f"next_hop called at the destination {node}")
+
+
+@dataclass
+class Hypercube(Topology):
+    """A 2^d-node hypercube, routing on the lowest differing dimension."""
+
+    dimensions: int
+
+    def __post_init__(self) -> None:
+        if self.dimensions < 0 or self.dimensions > 16:
+            raise RoutingError("hypercube dimensions must be in [0, 16]")
+        self.n_nodes = 1 << self.dimensions
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        self.check_node(node)
+        return tuple(node ^ (1 << bit) for bit in range(self.dimensions))
+
+    def next_hop(self, node: int, destination: int) -> int:
+        self.check_node(node)
+        diff = node ^ self.check_node(destination)
+        if diff == 0:
+            raise RoutingError(f"next_hop called at the destination {node}")
+        lowest = diff & -diff
+        return node ^ lowest

@@ -1,0 +1,173 @@
+"""Hardware-assisted message dispatch: ``MsgIp`` / ``NextMsgIp`` (Figure 7).
+
+The dispatch unit continuously precomputes the instruction pointer of the
+handler for the message in the input registers.  Software dispatches a
+message with a single register-indirect jump instead of the load / mask /
+table-lookup / jump sequence of the basic architecture.
+
+The computation follows Figure 7 of the paper:
+
+* **Case 1 (typical)** — ``MsgIp`` is ``IpBase`` with a handler-id field
+  replaced by the arrived message's type, plus the ``iafull`` / ``oafull``
+  almost-full condition bits, selecting one of four versions of the
+  handler (Section 2.2.4).
+* **Case 2** — when there is no exceptional condition, neither queue is over
+  threshold, and the message is of type 0, ``MsgIp`` is simply word 1 of the
+  message (the handler IP travels in the message).
+
+Two handler ids are architecturally reserved: ``0000`` dispatches to the
+"no message" (idle) handler and ``0001`` to the exception handler, which is
+why type 1 messages may never be sent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.nic.messages import TYPE_EXCEPTION, TYPE_MSG_IP, Message
+from repro.utils.bitfield import to_word
+
+HANDLER_ID_NO_MESSAGE = 0
+"""Handler id dispatched to when the input registers hold no message."""
+
+HANDLER_ID_EXCEPTION = TYPE_EXCEPTION
+"""Handler id dispatched to when STATUS reports an exceptional condition."""
+
+HANDLER_SLOT_BYTES = 16
+"""Bytes per handler version slot: four 32-bit instructions.
+
+Each slot is large enough for a short handler or an unconditional branch to
+a longer one.  The paper leaves the slot size implementation dependent.
+"""
+
+VERSIONS_PER_HANDLER = 4
+"""iafull x oafull combinations (Section 2.2.4)."""
+
+HANDLER_REGION_BYTES = HANDLER_SLOT_BYTES * VERSIONS_PER_HANDLER
+"""Bytes per message type in the dispatch table (4 versions)."""
+
+TABLE_BYTES = HANDLER_REGION_BYTES * 16
+"""Total dispatch table size covered by the replaced IpBase bits (1 KiB)."""
+
+_IAFULL_SHIFT = 4
+_OAFULL_SHIFT = 5
+_HANDLER_SHIFT = 6
+_TABLE_MASK = TABLE_BYTES - 1  # 0x3FF: the IpBase bits replaced by hardware
+
+
+def handler_table_address(
+    ip_base: int, handler_id: int, iafull: bool = False, oafull: bool = False
+) -> int:
+    """The dispatch-table entry address for a handler id and conditions.
+
+    This is the "replace certain bits of the IpBase register" operation of
+    Section 2.2.3, made concrete: the low 10 bits of ``IpBase`` are replaced
+    by ``handler_id . oafull . iafull . 0000``.
+    """
+    if handler_id < 0 or handler_id > 0xF:
+        raise ValueError(f"handler id {handler_id} does not fit in 4 bits")
+    entry = (
+        (handler_id << _HANDLER_SHIFT)
+        | (int(bool(oafull)) << _OAFULL_SHIFT)
+        | (int(bool(iafull)) << _IAFULL_SHIFT)
+    )
+    return (to_word(ip_base) & ~_TABLE_MASK) | entry
+
+
+def decode_table_address(address: int) -> tuple[int, bool, bool]:
+    """Inverse of :func:`handler_table_address` (handler id, iafull, oafull)."""
+    entry = address & _TABLE_MASK
+    handler_id = entry >> _HANDLER_SHIFT
+    oafull = bool((entry >> _OAFULL_SHIFT) & 1)
+    iafull = bool((entry >> _IAFULL_SHIFT) & 1)
+    return handler_id, iafull, oafull
+
+
+@dataclass(frozen=True)
+class DispatchConditions:
+    """The condition inputs to the MsgIp computation."""
+
+    iafull: bool = False
+    oafull: bool = False
+    exception: bool = False
+
+    @property
+    def boundary(self) -> bool:
+        """True when any condition forces case 1 even for type 0 messages."""
+        return self.iafull or self.oafull or self.exception
+
+
+def compute_msg_ip(
+    ip_base: int,
+    message: Optional[Message],
+    conditions: DispatchConditions,
+) -> int:
+    """Compute ``MsgIp`` exactly as the Figure 7 hardware does.
+
+    The priority order matters and is part of the architecture: exceptions
+    win over everything, then the no-message case, then the type-0 fast
+    path (only with no boundary condition), then the table lookup.
+    """
+    if conditions.exception:
+        return handler_table_address(
+            ip_base, HANDLER_ID_EXCEPTION, conditions.iafull, conditions.oafull
+        )
+    if message is None:
+        return handler_table_address(
+            ip_base, HANDLER_ID_NO_MESSAGE, conditions.iafull, conditions.oafull
+        )
+    if message.mtype == TYPE_MSG_IP and not conditions.boundary:
+        # Case 2: the handler IP travels in word 1 of the message.
+        return message.word(1)
+    return handler_table_address(
+        ip_base, message.mtype, conditions.iafull, conditions.oafull
+    )
+
+
+class DispatchUnit:
+    """The MsgIp / NextMsgIp generator attached to a network interface.
+
+    ``MsgIp`` reflects the message currently in the input registers;
+    ``NextMsgIp`` reflects the message at the head of the input queue (the
+    one ``NEXT`` will expose), letting software overlap the processing of
+    one message with the dispatch of the next (Section 2.2.3).
+    """
+
+    def __init__(self, ip_base: int = 0) -> None:
+        self._ip_base = to_word(ip_base)
+
+    @property
+    def ip_base(self) -> int:
+        """The software-loaded base address of the dispatch table."""
+        return self._ip_base
+
+    @ip_base.setter
+    def ip_base(self, value: int) -> None:
+        self._ip_base = to_word(value)
+
+    def msg_ip(
+        self, current: Optional[Message], conditions: DispatchConditions
+    ) -> int:
+        """Handler IP for the message in the input registers."""
+        return compute_msg_ip(self._ip_base, current, conditions)
+
+    def next_msg_ip(
+        self, queued: Optional[Message], conditions: DispatchConditions
+    ) -> int:
+        """Handler IP for the head-of-queue message (post-``NEXT`` view)."""
+        return compute_msg_ip(self._ip_base, queued, conditions)
+
+    def idle_ip(self, conditions: DispatchConditions | None = None) -> int:
+        """The no-message handler address under the given conditions."""
+        conditions = conditions or DispatchConditions()
+        return handler_table_address(
+            self._ip_base, HANDLER_ID_NO_MESSAGE, conditions.iafull, conditions.oafull
+        )
+
+    def exception_ip(self, conditions: DispatchConditions | None = None) -> int:
+        """The exception handler address under the given conditions."""
+        conditions = conditions or DispatchConditions()
+        return handler_table_address(
+            self._ip_base, HANDLER_ID_EXCEPTION, conditions.iafull, conditions.oafull
+        )

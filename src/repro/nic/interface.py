@@ -1,0 +1,375 @@
+"""The programmer-visible network interface (paper Section 2).
+
+This is the architectural (untimed) model of the interface in Figure 1:
+five output registers ``o0..o4``, five input registers ``i0..i4``, the
+``STATUS`` and ``CONTROL`` registers, the dispatch registers ``IpBase`` /
+``MsgIp`` / ``NextMsgIp``, and the bounded input and output message queues.
+
+Two commands drive it:
+
+* ``SEND`` composes a message from the output registers (optionally
+  substituting input registers in REPLY / FORWARD mode, Section 2.2.2) and
+  queues it for transmission;
+* ``NEXT`` disposes of the message in the input registers and advances the
+  head of the input queue into them.
+
+One behaviour is made explicit here that the paper leaves implicit: the
+hardware advances the head of the input queue into the input registers
+whenever the input registers are empty, so the oldest arrived message is
+always visible to polling software and to the ``MsgIp`` computation without
+a priming ``NEXT``.
+
+Timing is deliberately absent from this model — the per-placement cycle
+costs live in :mod:`repro.impls` and the clocked model in
+:mod:`repro.nic.rtl`.  This class defines *what* the interface does; those
+define *how fast*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import MessageFormatError, QueueOverflowError
+from repro.nic.control import ControlRegister, SendFullPolicy, StatusRegister
+from repro.nic.dispatch import DispatchConditions, DispatchUnit
+from repro.nic.messages import (
+    MESSAGE_WORDS,
+    TYPE_EXCEPTION,
+    Message,
+)
+from repro.nic.queues import DEFAULT_CAPACITY, MessageQueue
+from repro.utils.bitfield import to_word
+
+
+class SendMode(enum.Enum):
+    """The three composition modes of the ``SEND`` command (Section 2.2.2)."""
+
+    NORMAL = "normal"
+    REPLY = "reply"
+    FORWARD = "forward"
+
+
+class SendResult(enum.Enum):
+    """Outcome of a ``SEND`` under the STALL full-queue policy."""
+
+    SENT = "sent"
+    STALLED = "stalled"
+
+
+# Which outgoing word positions are taken from which *input* registers in
+# each substitution mode.  REPLY rebuilds the message head (the reply's
+# destination/FP and IP come from words 1 and 2 of the request); FORWARD
+# keeps a new head from the output registers and carries the incoming data
+# words through unchanged.
+REPLY_SUBSTITUTION = {0: 1, 1: 2}
+FORWARD_SUBSTITUTION = {2: 2, 3: 3, 4: 4}
+
+
+@dataclass
+class InterfaceStats:
+    """Counters kept by the interface for the evaluation reports."""
+
+    sends: int = 0
+    sends_by_mode: dict = field(
+        default_factory=lambda: {mode: 0 for mode in SendMode}
+    )
+    send_stalls: int = 0
+    nexts: int = 0
+    delivered: int = 0
+    refused: int = 0
+    pin_diverted: int = 0
+    privileged_diverted: int = 0
+
+
+class NetworkInterface:
+    """Architectural model of the tightly-coupled network interface.
+
+    Parameters
+    ----------
+    node:
+        The logical address of the processor this interface serves; stamped
+        nowhere on outgoing messages (the *destination* lives in ``m0``) but
+        needed by handler conventions and reporting.
+    input_capacity, output_capacity:
+        Queue depths in messages (default 16, Section 3.2).
+    accept_hook:
+        Optional callback invoked with each privileged or PIN-mismatched
+        message instead of queueing it (Section 2.1.3); when absent such
+        messages go to :attr:`privileged_store`.
+    """
+
+    def __init__(
+        self,
+        node: int = 0,
+        input_capacity: int = DEFAULT_CAPACITY,
+        output_capacity: int = DEFAULT_CAPACITY,
+        accept_hook: Optional[Callable[[Message], None]] = None,
+    ) -> None:
+        self.node = node
+        self.status = StatusRegister()
+        self.control = ControlRegister()
+        self.dispatch = DispatchUnit()
+        self.input_queue = MessageQueue(
+            f"node{node}.iq",
+            capacity=input_capacity,
+            threshold=self.control["iq_threshold"],
+        )
+        self.output_queue = MessageQueue(
+            f"node{node}.oq",
+            capacity=output_capacity,
+            threshold=self.control["oq_threshold"],
+        )
+        self.output_registers: List[int] = [0] * MESSAGE_WORDS
+        self._current: Optional[Message] = None
+        self.stats = InterfaceStats()
+        self.privileged_store: List[Message] = []
+        self._accept_hook = accept_hook
+        self.interrupt_hook: Optional[Callable[[], None]] = None
+        self.interrupts_raised = 0
+        self._refresh_status()
+
+    def enable_arrival_interrupts(self, hook: Callable[[], None]) -> None:
+        """Switch from polled to interrupt-driven reception (Section 2.1).
+
+        ``hook`` models the processor's interrupt entry: it fires once per
+        delivered user-visible message, after the message is queued, so the
+        handler it invokes can poll/dispatch normally.
+        """
+        self.interrupt_hook = hook
+        self.control["arrival_interrupt"] = 1
+
+    def disable_arrival_interrupts(self) -> None:
+        self.control["arrival_interrupt"] = 0
+        self.interrupt_hook = None
+
+    # ------------------------------------------------------------------
+    # Register access (the implementation-dependent mechanism of the paper
+    # is provided by repro.impls; these are the architectural operations).
+    # ------------------------------------------------------------------
+
+    def read_input(self, index: int) -> int:
+        """Read input register ``i<index>``.
+
+        Reading with no valid message returns 0, matching hardware that
+        does not trap on reads of invalid registers; correct software
+        checks ``STATUS.msg_valid`` (or uses ``MsgIp``) first.
+        """
+        if index < 0 or index >= MESSAGE_WORDS:
+            raise MessageFormatError(f"no input register i{index}")
+        if self._current is None:
+            return 0
+        return self._current.word(index)
+
+    def write_output(self, index: int, value: int) -> None:
+        """Write output register ``o<index>``."""
+        if index < 0 or index >= MESSAGE_WORDS:
+            raise MessageFormatError(f"no output register o{index}")
+        self.output_registers[index] = to_word(value)
+
+    def read_output(self, index: int) -> int:
+        """Read back output register ``o<index>``."""
+        if index < 0 or index >= MESSAGE_WORDS:
+            raise MessageFormatError(f"no output register o{index}")
+        return self.output_registers[index]
+
+    @property
+    def current_message(self) -> Optional[Message]:
+        """The message occupying the input registers, if any."""
+        return self._current
+
+    @property
+    def msg_valid(self) -> bool:
+        """Whether the input registers hold a message."""
+        return self._current is not None
+
+    # ------------------------------------------------------------------
+    # Dispatch registers.
+    # ------------------------------------------------------------------
+
+    @property
+    def ip_base(self) -> int:
+        return self.dispatch.ip_base
+
+    @ip_base.setter
+    def ip_base(self, value: int) -> None:
+        self.dispatch.ip_base = value
+
+    def _conditions(self) -> DispatchConditions:
+        return DispatchConditions(
+            iafull=self.input_queue.almost_full,
+            oafull=self.output_queue.almost_full,
+            exception=self.status.has_exception,
+        )
+
+    @property
+    def msg_ip(self) -> int:
+        """The precomputed handler IP for the current message (Figure 7)."""
+        return self.dispatch.msg_ip(self._current, self._conditions())
+
+    @property
+    def next_msg_ip(self) -> int:
+        """The precomputed handler IP for the head-of-queue message."""
+        return self.dispatch.next_msg_ip(self.input_queue.peek(), self._conditions())
+
+    # ------------------------------------------------------------------
+    # Commands.
+    # ------------------------------------------------------------------
+
+    def compose(self, mtype: int, mode: SendMode = SendMode.NORMAL) -> Message:
+        """Build (but do not queue) the message SEND would emit.
+
+        Exposed separately so the RTL model and the tests can check the
+        substitution logic without touching queue state.
+        """
+        if mtype == TYPE_EXCEPTION:
+            raise MessageFormatError(
+                "message type 1 is reserved for exception dispatch (Section 2.2.4)"
+            )
+        substitution = {}
+        if mode is SendMode.REPLY:
+            substitution = REPLY_SUBSTITUTION
+        elif mode is SendMode.FORWARD:
+            substitution = FORWARD_SUBSTITUTION
+        if substitution and self._current is None:
+            raise MessageFormatError(
+                f"SEND {mode.value} requires a message in the input registers"
+            )
+        words = []
+        for position in range(MESSAGE_WORDS):
+            if position in substitution:
+                words.append(self._current.word(substitution[position]))
+            else:
+                words.append(self.output_registers[position])
+        return Message(
+            mtype,
+            tuple(words),
+            pin=self.control["active_pin"],
+        )
+
+    def send(self, mtype: int, mode: SendMode = SendMode.NORMAL) -> SendResult:
+        """The ``SEND`` command.
+
+        Composes a message and appends it to the output queue.  When the
+        queue is full the CONTROL register's policy applies: under
+        ``EXCEPTION`` the ``exc_output_overflow`` condition is raised and
+        :class:`QueueOverflowError` propagates; under ``STALL`` the send is
+        *not* performed and :data:`SendResult.STALLED` is returned so the
+        caller (processor model or node run loop) can retry after the
+        network drains — the architectural equivalent of a stalled pipeline.
+        """
+        message = self.compose(mtype, mode)
+        if self.output_queue.is_full:
+            if self.control.full_policy is SendFullPolicy.EXCEPTION:
+                self.status.raise_exception("exc_output_overflow")
+                self._refresh_status()
+                raise QueueOverflowError(
+                    f"node {self.node}: output queue full and policy is EXCEPTION"
+                )
+            self.stats.send_stalls += 1
+            return SendResult.STALLED
+        self.output_queue.push(message)
+        self.stats.sends += 1
+        self.stats.sends_by_mode[mode] += 1
+        self._refresh_status()
+        return SendResult.SENT
+
+    def next(self) -> None:
+        """The ``NEXT`` command: dispose of the current message and advance."""
+        self.stats.nexts += 1
+        self._current = None
+        self._advance()
+        self._refresh_status()
+
+    # ------------------------------------------------------------------
+    # Network-side operations (called by the fabric / router).
+    # ------------------------------------------------------------------
+
+    def can_accept(self) -> bool:
+        """Whether the network may deliver one more message (backpressure)."""
+        return not self.input_queue.is_full
+
+    def deliver(self, message: Message) -> bool:
+        """Deliver one message from the network into this interface.
+
+        Returns False (and leaves the message with the caller) when the
+        input queue is full — the fabric models this as backpressure into
+        the network.  Privileged messages and PIN mismatches are diverted
+        per Section 2.1.3 and never reach user-visible state.
+        """
+        if self._divert_if_protected(message):
+            return True
+        if self.input_queue.is_full:
+            self.stats.refused += 1
+            return False
+        self.input_queue.push(message)
+        self.stats.delivered += 1
+        self._advance()
+        self._refresh_status()
+        if self.control["arrival_interrupt"] and self.interrupt_hook is not None:
+            self.interrupts_raised += 1
+            self.interrupt_hook()
+        return True
+
+    def transmit(self) -> Optional[Message]:
+        """Remove and return the oldest outgoing message (network side)."""
+        message = self.output_queue.try_pop()
+        if message is not None:
+            self._refresh_status()
+        return message
+
+    def peek_outgoing(self) -> Optional[Message]:
+        """The oldest outgoing message without removing it."""
+        return self.output_queue.peek()
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _divert_if_protected(self, message: Message) -> bool:
+        """Handle privileged / mismatched-PIN messages; True when diverted."""
+        diverted = False
+        if message.privileged:
+            self.stats.privileged_diverted += 1
+            diverted = True
+        elif self.control.pin_checking and message.pin != self.control["active_pin"]:
+            # A message for an inactive process is treated as privileged
+            # (Section 2.1.3).
+            self.stats.pin_diverted += 1
+            self.status.raise_exception("exc_pin_mismatch")
+            diverted = True
+        if diverted:
+            if self._accept_hook is not None:
+                self._accept_hook(message)
+            else:
+                self.privileged_store.append(message)
+            self._refresh_status()
+        return diverted
+
+    def _advance(self) -> None:
+        """Auto-load the input registers from the queue when they are empty."""
+        if self._current is None:
+            self._current = self.input_queue.try_pop()
+
+    def _refresh_status(self) -> None:
+        """Recompute the hardware-maintained STATUS fields."""
+        self.input_queue.set_threshold(self.control["iq_threshold"])
+        self.output_queue.set_threshold(self.control["oq_threshold"])
+        self.status["msg_valid"] = 1 if self._current is not None else 0
+        self.status["msg_type"] = self._current.mtype if self._current else 0
+        self.status["iq_len"] = min(
+            self.input_queue.depth, (1 << 5) - 1
+        )
+        self.status["oq_len"] = min(
+            self.output_queue.depth, (1 << 5) - 1
+        )
+        self.status["iafull"] = 1 if self.input_queue.almost_full else 0
+        self.status["oafull"] = 1 if self.output_queue.almost_full else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<NetworkInterface node={self.node} "
+            f"iq={self.input_queue.depth} oq={self.output_queue.depth} "
+            f"msg_valid={self.msg_valid}>"
+        )

@@ -1,0 +1,241 @@
+"""Memory-mapped access to the network interface (paper Figure 9).
+
+The two cache-based implementations (Sections 3.1 and 3.2) expose the
+interface as a region of the address space.  A single load or store can, in
+one instruction, access one interface register *and* issue a ``SEND``
+(normal, reply, or forward) *and* issue a ``NEXT`` — the commands ride in
+the low bits of the address:
+
+===========  =====================================================
+addr lines   information
+===========  =====================================================
+5:2          interface register number
+9:6          type of message to be sent
+11:10        01 SEND / 10 SEND-reply / 11 SEND-forward / 00 none
+12           NEXT command
+===========  =====================================================
+
+The upper address bits must match a preset constant for the access to
+select the interface instead of a data cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import MessageFormatError
+from repro.nic.interface import NetworkInterface, SendMode, SendResult
+from repro.utils.bitfield import BitField, BitLayout, to_word
+
+# The 15 interface registers of Figure 1, in their register-number order.
+REGISTER_NAMES = (
+    "o0",
+    "o1",
+    "o2",
+    "o3",
+    "o4",
+    "i0",
+    "i1",
+    "i2",
+    "i3",
+    "i4",
+    "STATUS",
+    "CONTROL",
+    "MsgIp",
+    "NextMsgIp",
+    "IpBase",
+)
+
+REGISTER_NUMBERS = {name: number for number, name in enumerate(REGISTER_NAMES)}
+
+COMMAND_BITS = 13
+"""Address bits 12:0 carry the command encoding (bits 1:0 unused: word align)."""
+
+ADDRESS_LAYOUT = BitLayout(
+    "ni-address",
+    [
+        BitField("register", 2, 4),
+        BitField("send_type", 6, 4),
+        BitField("send_mode", 10, 2),
+        BitField("next", 12, 1),
+    ],
+)
+
+_SEND_MODE_CODES = {
+    None: 0b00,
+    SendMode.NORMAL: 0b01,
+    SendMode.REPLY: 0b10,
+    SendMode.FORWARD: 0b11,
+}
+_SEND_MODE_FROM_CODE = {code: mode for mode, code in _SEND_MODE_CODES.items()}
+
+DEFAULT_BASE_ADDRESS = 0xFFFF_E000
+"""Default preset constant for the upper address bits.
+
+Chosen so the command bits (12:0) are all zero in the base; any aligned
+8 KiB region works.
+"""
+
+
+def encode_address(
+    register: str | int | None = None,
+    send_mode: Optional[SendMode] = None,
+    send_type: int = 0,
+    do_next: bool = False,
+    base: int = DEFAULT_BASE_ADDRESS,
+) -> int:
+    """Build the memory address that performs the given command combination.
+
+    ``register`` may be a name from :data:`REGISTER_NAMES`, a register
+    number, or None (meaning "register 0 / don't care", used for pure
+    command accesses such as a bare ``SEND``).
+    """
+    if base & ((1 << COMMAND_BITS) - 1):
+        raise MessageFormatError(
+            f"interface base address {base:#x} is not aligned to the command bits"
+        )
+    if isinstance(register, str):
+        try:
+            number = REGISTER_NUMBERS[register]
+        except KeyError:
+            raise MessageFormatError(f"unknown interface register {register!r}") from None
+    elif register is None:
+        number = 0
+    else:
+        number = register
+    if number < 0 or number >= len(REGISTER_NAMES):
+        raise MessageFormatError(f"interface register number {number} out of range")
+    if send_mode is None and send_type:
+        raise MessageFormatError("a send type was given without a SEND mode")
+    return base | ADDRESS_LAYOUT.pack(
+        register=number,
+        send_type=send_type,
+        send_mode=_SEND_MODE_CODES[send_mode],
+        next=1 if do_next else 0,
+    )
+
+
+@dataclass(frozen=True)
+class DecodedAccess:
+    """The command content of one memory-mapped interface access."""
+
+    register: str
+    send_mode: Optional[SendMode]
+    send_type: int
+    do_next: bool
+
+    @property
+    def sends(self) -> bool:
+        return self.send_mode is not None
+
+
+def decode_address(address: int, base: int = DEFAULT_BASE_ADDRESS) -> DecodedAccess:
+    """Decode the low bits of ``address`` into a :class:`DecodedAccess`."""
+    if not matches_base(address, base):
+        raise MessageFormatError(
+            f"address {address:#x} does not select the interface at {base:#x}"
+        )
+    fields = ADDRESS_LAYOUT.unpack(address)
+    number = fields["register"]
+    if number >= len(REGISTER_NAMES):
+        raise MessageFormatError(f"address selects nonexistent register {number}")
+    return DecodedAccess(
+        register=REGISTER_NAMES[number],
+        send_mode=_SEND_MODE_FROM_CODE[fields["send_mode"]],
+        send_type=fields["send_type"],
+        do_next=bool(fields["next"]),
+    )
+
+
+def matches_base(address: int, base: int = DEFAULT_BASE_ADDRESS) -> bool:
+    """Whether ``address``'s upper bits select the interface region."""
+    mask = ~((1 << COMMAND_BITS) - 1) & 0xFFFF_FFFF
+    return (to_word(address) & mask) == (to_word(base) & mask)
+
+
+class MemoryMappedInterface:
+    """A :class:`NetworkInterface` behind the Figure 9 address decoder.
+
+    This is the component the off-chip NIC chip and the on-chip cache-bus
+    module share; the two placements differ only in access latency, which is
+    modelled by :mod:`repro.impls`, not here.
+
+    The ordering within a single access follows the NIC design: the register
+    read/write uses the *pre-command* state (so a load of ``i1`` combined
+    with ``NEXT`` returns the current message's word before advancing), then
+    ``SEND``, then ``NEXT``.
+    """
+
+    def __init__(
+        self,
+        interface: NetworkInterface,
+        base: int = DEFAULT_BASE_ADDRESS,
+    ) -> None:
+        self.interface = interface
+        self.base = base
+        self.last_send_result: Optional[SendResult] = None
+
+    def selects(self, address: int) -> bool:
+        """Whether ``address`` targets this interface."""
+        return matches_base(address, self.base)
+
+    def load(self, address: int) -> int:
+        """A processor load from the interface region."""
+        access = decode_address(address, self.base)
+        value = self._read_register(access.register)
+        self._run_commands(access)
+        return value
+
+    def store(self, address: int, value: int) -> None:
+        """A processor store to the interface region."""
+        access = decode_address(address, self.base)
+        self._write_register(access.register, value)
+        self._run_commands(access)
+
+    def _run_commands(self, access: DecodedAccess) -> None:
+        if access.sends:
+            self.last_send_result = self.interface.send(
+                access.send_type, access.send_mode
+            )
+        if access.do_next:
+            self.interface.next()
+
+    def _read_register(self, name: str) -> int:
+        ni = self.interface
+        if name.startswith("o"):
+            return ni.read_output(int(name[1]))
+        if name.startswith("i"):
+            return ni.read_input(int(name[1]))
+        if name == "STATUS":
+            return ni.status.word
+        if name == "CONTROL":
+            return ni.control.word
+        if name == "MsgIp":
+            return ni.msg_ip
+        if name == "NextMsgIp":
+            return ni.next_msg_ip
+        if name == "IpBase":
+            return ni.ip_base
+        raise MessageFormatError(f"unreadable interface register {name!r}")
+
+    def _write_register(self, name: str, value: int) -> None:
+        ni = self.interface
+        if name.startswith("o"):
+            ni.write_output(int(name[1]), value)
+        elif name == "CONTROL":
+            ni.control.word = value
+        elif name == "IpBase":
+            ni.ip_base = value
+        elif name == "STATUS":
+            # Only the exception bits are software-writable (to clear them);
+            # the rest of STATUS is hardware-maintained and a write is
+            # ignored, as on the NIC chip.
+            if value == 0:
+                ni.status.clear_exceptions()
+        elif name.startswith("i") or name in ("MsgIp", "NextMsgIp"):
+            # Input and dispatch registers are read-only; hardware ignores
+            # the write rather than trapping.
+            pass
+        else:
+            raise MessageFormatError(f"unwritable interface register {name!r}")

@@ -1,0 +1,163 @@
+"""Multi-user protection extensions (paper Section 2.1.3).
+
+The basic architecture is single-application; the paper sketches the two
+extensions a multi-user machine needs and argues they do not disturb the
+proposed optimizations.  This module implements both:
+
+* **Privileged messages** — messages destined for the operating system are
+  stored in privileged state (or interrupt the processor) rather than ever
+  appearing in the user-visible input registers.
+* **Inactive-process messages** — under *independent* context switching
+  every message carries the sending process's PIN; an arriving message
+  whose PIN does not match the active process is treated as privileged.
+  Under *gang* (synchronous) scheduling, the network is drained between
+  time slices so such messages never exist; :class:`GangScheduler` models
+  that strategy (the CM-5's, per the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ProtectionError
+from repro.nic.interface import NetworkInterface
+from repro.nic.messages import Message
+
+
+@dataclass
+class PrivilegedStore:
+    """Kernel-side buffering for diverted messages.
+
+    Messages are filed by PIN so the OS can requeue them when it activates
+    the owning process; OS-destined (privileged-bit) messages are kept in
+    their own list.
+    """
+
+    os_messages: List[Message] = field(default_factory=list)
+    by_pin: Dict[int, List[Message]] = field(default_factory=dict)
+    interrupts_raised: int = 0
+
+    def file(self, message: Message) -> None:
+        """Store one diverted message."""
+        if message.privileged:
+            self.os_messages.append(message)
+        else:
+            self.by_pin.setdefault(message.pin, []).append(message)
+
+    def pending_for(self, pin: int) -> List[Message]:
+        """Messages waiting for process ``pin``."""
+        return list(self.by_pin.get(pin, ()))
+
+    def take_for(self, pin: int) -> List[Message]:
+        """Remove and return the messages waiting for process ``pin``."""
+        return self.by_pin.pop(pin, [])
+
+
+class ProtectionDomain:
+    """Ties a :class:`NetworkInterface` to OS-level protection state.
+
+    The domain installs itself as the interface's accept hook, so every
+    privileged or PIN-mismatched delivery lands in the
+    :class:`PrivilegedStore` (optionally raising a modelled interrupt),
+    and offers the OS-side operations: activating a process and requeueing
+    its stored messages.
+    """
+
+    def __init__(self, interface: NetworkInterface) -> None:
+        self.interface = interface
+        self.store = PrivilegedStore()
+        interface._accept_hook = self._on_diverted
+
+    def _on_diverted(self, message: Message) -> None:
+        self.store.file(message)
+        if self.interface.control["privileged_interrupt"]:
+            self.store.interrupts_raised += 1
+
+    def activate(self, pin: int) -> int:
+        """Context switch to process ``pin``.
+
+        Enables PIN checking for the new process and redelivers any of its
+        messages that arrived while it was switched out.  Returns the
+        number of messages redelivered.
+        """
+        self.interface.control.enable_pin_checking(pin)
+        stored = self.store.take_for(pin)
+        redelivered = 0
+        leftover: List[Message] = []
+        for message in stored:
+            if self.interface.deliver(message):
+                redelivered += 1
+            else:
+                leftover.append(message)
+        for message in leftover:
+            # Input queue filled up mid-redelivery; keep the rest stored.
+            self.store.file(message)
+        return redelivered
+
+    def deactivate(self) -> None:
+        """Leave no process active (all user messages divert)."""
+        self.interface.control.disable_pin_checking()
+        self.interface.control["active_pin"] = 0
+
+    def os_take_all(self) -> List[Message]:
+        """The OS consumes its privileged messages."""
+        messages = self.store.os_messages
+        self.store.os_messages = []
+        return messages
+
+
+class GangScheduler:
+    """Synchronous time-slicing with network draining (Section 2.1.3).
+
+    With gang scheduling, every node switches processes at the same time
+    and the network is drained between slices, so no message for an
+    inactive process is ever in flight.  The scheduler model drains each
+    interface's queues into per-process saved state at the end of a slice
+    and restores them when the process runs again.
+    """
+
+    def __init__(self, interfaces: List[NetworkInterface]) -> None:
+        if not interfaces:
+            raise ProtectionError("gang scheduler needs at least one interface")
+        self.interfaces = interfaces
+        self.active_pin: Optional[int] = None
+        self._saved: Dict[int, List[List[Message]]] = {}
+
+    def start_slice(self, pin: int) -> None:
+        """Begin a time slice for process ``pin`` on every node."""
+        if self.active_pin is not None:
+            raise ProtectionError(
+                f"slice for pin {self.active_pin} is still running"
+            )
+        self.active_pin = pin
+        saved = self._saved.pop(pin, None)
+        if saved is not None:
+            for interface, messages in zip(self.interfaces, saved):
+                for message in messages:
+                    if not interface.deliver(message):
+                        raise ProtectionError(
+                            "restored messages overflow the input queue"
+                        )
+
+    def end_slice(self) -> None:
+        """End the running slice, draining all in-flight state."""
+        if self.active_pin is None:
+            raise ProtectionError("no slice is running")
+        saved: List[List[Message]] = []
+        for interface in self.interfaces:
+            drained: List[Message] = []
+            # The message occupying the input registers is part of the
+            # process's network state too.
+            if interface.current_message is not None:
+                drained.append(interface.current_message)
+                interface._current = None
+            drained.extend(interface.input_queue.drain())
+            interface._refresh_status()
+            saved.append(drained)
+        self._saved[self.active_pin] = saved
+        self.active_pin = None
+
+    def saved_message_count(self, pin: int) -> int:
+        """How many messages are parked for process ``pin``."""
+        return sum(len(batch) for batch in self._saved.get(pin, ()))

@@ -1,0 +1,167 @@
+"""Bounded input and output message queues (paper Figure 1).
+
+The input queue continuously receives messages from the network and buffers
+them until the processor pops them with ``NEXT``; the output queue buffers
+sent messages until the network accepts them.  Both are bounded; the
+``CONTROL`` register sets a *threshold* on each which, when exceeded, raises
+the ``iafull`` / ``oafull`` ("almost full") conditions folded into ``MsgIp``
+(Section 2.2.4).
+
+The queues also keep occupancy statistics so the evaluation harnesses can
+report peak depths and threshold-crossing counts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Iterator, List, Optional
+
+from repro.errors import QueueOverflowError, QueueUnderflowError
+from repro.nic.messages import Message
+
+DEFAULT_CAPACITY = 16
+"""Default queue depth in messages.
+
+Section 3.2 sizes the on-chip memory for 16-message queues (about 3/4 of a
+kilobyte for both), so 16 is the architectural default here too.
+"""
+
+
+@dataclass
+class QueueStats:
+    """Occupancy statistics accumulated by a :class:`MessageQueue`."""
+
+    pushes: int = 0
+    pops: int = 0
+    rejected: int = 0
+    peak_depth: int = 0
+    threshold_crossings: int = 0
+
+    def snapshot(self) -> dict:
+        """The statistics as a plain dictionary (for reports)."""
+        return {
+            "pushes": self.pushes,
+            "pops": self.pops,
+            "rejected": self.rejected,
+            "peak_depth": self.peak_depth,
+            "threshold_crossings": self.threshold_crossings,
+        }
+
+
+@dataclass
+class MessageQueue:
+    """A bounded FIFO of :class:`Message` with an almost-full threshold.
+
+    ``threshold`` is the depth above which :attr:`almost_full` asserts; it
+    is software-settable through the ``CONTROL`` register.  ``capacity`` is
+    the hardware depth.
+    """
+
+    name: str
+    capacity: int = DEFAULT_CAPACITY
+    threshold: int = DEFAULT_CAPACITY - 4
+    _items: Deque[Message] = field(default_factory=deque, repr=False)
+    stats: QueueStats = field(default_factory=QueueStats, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"queue {self.name!r}: capacity must be positive")
+        self.set_threshold(self.threshold)
+
+    def set_threshold(self, threshold: int) -> None:
+        """Set the almost-full threshold (clamped to [0, capacity])."""
+        self.threshold = max(0, min(threshold, self.capacity))
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self._items)
+
+    @property
+    def depth(self) -> int:
+        """Current number of queued messages."""
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def almost_full(self) -> bool:
+        """True when occupancy exceeds the software-set threshold."""
+        return len(self._items) > self.threshold
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._items)
+
+    def push(self, message: Message) -> None:
+        """Append ``message``; raises :class:`QueueOverflowError` when full.
+
+        Callers that want stall semantics (the CONTROL register's other
+        policy) must check :attr:`is_full` first; the queue itself always
+        treats overflow as an error so that no message is ever dropped
+        silently.
+        """
+        if self.is_full:
+            self.stats.rejected += 1
+            raise QueueOverflowError(
+                f"queue {self.name!r} is full (capacity {self.capacity})"
+            )
+        was_almost_full = self.almost_full
+        self._items.append(message)
+        self.stats.pushes += 1
+        self.stats.peak_depth = max(self.stats.peak_depth, len(self._items))
+        if self.almost_full and not was_almost_full:
+            self.stats.threshold_crossings += 1
+
+    def try_push(self, message: Message) -> bool:
+        """Append ``message`` if space allows; return whether it was queued."""
+        if self.is_full:
+            return False
+        self.push(message)
+        return True
+
+    def peek(self) -> Optional[Message]:
+        """The least recently queued message, without removing it."""
+        return self._items[0] if self._items else None
+
+    def peek_at(self, index: int) -> Optional[Message]:
+        """The ``index``-th oldest queued message, or None."""
+        if 0 <= index < len(self._items):
+            return self._items[index]
+        return None
+
+    def pop(self) -> Message:
+        """Remove and return the oldest message."""
+        if not self._items:
+            raise QueueUnderflowError(f"queue {self.name!r} is empty")
+        self.stats.pops += 1
+        return self._items.popleft()
+
+    def try_pop(self) -> Optional[Message]:
+        """Remove and return the oldest message, or None when empty."""
+        if not self._items:
+            return None
+        return self.pop()
+
+    def drain(self) -> List[Message]:
+        """Remove and return all queued messages, oldest first.
+
+        Used by the protection machinery when the machine drains the network
+        between time slices (Section 2.1.3).
+        """
+        drained = list(self._items)
+        self.stats.pops += len(drained)
+        self._items.clear()
+        return drained
+
+    def clear(self) -> None:
+        """Discard all queued messages without counting them as pops."""
+        self._items.clear()

@@ -1,0 +1,166 @@
+"""I-structure memory: presence bits and deferred-reader lists.
+
+I-structures (Arvind, Nikhil & Pingali, cited as [ANP89] in the paper)
+give every array element a presence state: *empty* until written, *full*
+afterwards, with reads of an empty element *deferred* — queued on the
+element — and satisfied the moment the write arrives.  The paper's PRead /
+PWrite messages implement exactly this protocol, and its Table 1 prices
+the full / empty / deferred paths separately.
+
+This module is the behavioural (Python-level) implementation used by the
+node handlers and by the TAM runtime.  Its memory layout matches the
+Table 1 kernels exactly (``[tag, value]`` pairs, tag doubling as the
+deferred-list head), so the assembly kernels and this model can be checked
+against each other, and it additionally counts outcome statistics — the
+quantities the paper measured with the Mint simulator ("the ratio of
+deferred, full, and empty PReads and PWrites").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import IStructureError
+
+
+@dataclass(frozen=True)
+class DeferredReader:
+    """One queued reader: the continuation its reply must invoke."""
+
+    frame_pointer: int
+    instruction_pointer: int
+
+
+@dataclass
+class IStructureStats:
+    """Outcome counts for the Figure 12 cost accounting."""
+
+    reads_full: int = 0
+    reads_empty: int = 0
+    reads_deferred: int = 0
+    writes_empty: int = 0
+    writes_deferred: int = 0
+    deferred_readers_satisfied: int = 0
+
+    @property
+    def reads(self) -> int:
+        return self.reads_full + self.reads_empty + self.reads_deferred
+
+    @property
+    def writes(self) -> int:
+        return self.writes_empty + self.writes_deferred
+
+    def merge(self, other: "IStructureStats") -> None:
+        self.reads_full += other.reads_full
+        self.reads_empty += other.reads_empty
+        self.reads_deferred += other.reads_deferred
+        self.writes_empty += other.writes_empty
+        self.writes_deferred += other.writes_deferred
+        self.deferred_readers_satisfied += other.deferred_readers_satisfied
+
+
+class _Element:
+    __slots__ = ("full", "value", "waiters")
+
+    def __init__(self) -> None:
+        self.full = False
+        self.value = 0
+        self.waiters: List[DeferredReader] = []
+
+
+class IStructureMemory:
+    """A node's I-structure heap: arrays of write-once elements."""
+
+    def __init__(self) -> None:
+        self._arrays: Dict[int, List[_Element]] = {}
+        self._next_descriptor = 0x10_000
+        self.stats = IStructureStats()
+
+    def allocate(self, length: int) -> int:
+        """Allocate an array of ``length`` empty elements; returns its descriptor."""
+        if length < 0:
+            raise IStructureError(f"negative I-structure length {length}")
+        descriptor = self._next_descriptor
+        # Element stride of 8 bytes keeps descriptors compatible with the
+        # Table 1 kernels' address arithmetic.
+        self._next_descriptor += max(8, length * 8)
+        self._arrays[descriptor] = [_Element() for _ in range(length)]
+        return descriptor
+
+    def _element(self, descriptor: int, index: int) -> _Element:
+        try:
+            array = self._arrays[descriptor]
+        except KeyError:
+            raise IStructureError(f"unknown I-structure descriptor {descriptor:#x}") from None
+        if index < 0 or index >= len(array):
+            raise IStructureError(
+                f"index {index} outside I-structure of {len(array)} elements"
+            )
+        return array[index]
+
+    def length(self, descriptor: int) -> int:
+        try:
+            return len(self._arrays[descriptor])
+        except KeyError:
+            raise IStructureError(f"unknown I-structure descriptor {descriptor:#x}") from None
+
+    # ------------------------------------------------------------------
+    # The protocol operations.
+    # ------------------------------------------------------------------
+
+    def read(
+        self, descriptor: int, index: int, reader: DeferredReader
+    ) -> Tuple[str, Optional[int]]:
+        """PRead: returns ``("full", value)`` or defers and returns state.
+
+        The state string is one of ``full`` / ``empty`` / ``deferred``,
+        matching the Table 1 row that prices the operation.
+        """
+        element = self._element(descriptor, index)
+        if element.full:
+            self.stats.reads_full += 1
+            return "full", element.value
+        if element.waiters:
+            self.stats.reads_deferred += 1
+            element.waiters.append(reader)
+            return "deferred", None
+        self.stats.reads_empty += 1
+        element.waiters.append(reader)
+        return "empty", None
+
+    def write(
+        self, descriptor: int, index: int, value: int
+    ) -> Tuple[str, List[DeferredReader]]:
+        """PWrite: store once; returns the state and any satisfied readers."""
+        element = self._element(descriptor, index)
+        if element.full:
+            raise IStructureError(
+                f"double write to I-structure {descriptor:#x}[{index}]"
+            )
+        element.full = True
+        element.value = value
+        satisfied = element.waiters
+        element.waiters = []
+        if satisfied:
+            self.stats.writes_deferred += 1
+            self.stats.deferred_readers_satisfied += len(satisfied)
+            return "deferred", satisfied
+        self.stats.writes_empty += 1
+        return "empty", []
+
+    def peek(self, descriptor: int, index: int) -> Optional[int]:
+        """Non-protocol inspection: the value if full, else None."""
+        element = self._element(descriptor, index)
+        return element.value if element.full else None
+
+    def is_full(self, descriptor: int, index: int) -> bool:
+        return self._element(descriptor, index).full
+
+    def waiter_count(self, descriptor: int, index: int) -> int:
+        return len(self._element(descriptor, index).waiters)
+
+    def store_sequence(self, descriptor: int, values) -> None:
+        """Bulk-write consecutive elements (test and example setup)."""
+        for index, value in enumerate(values):
+            self.write(descriptor, index, value)

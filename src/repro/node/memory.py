@@ -1,0 +1,67 @@
+"""Word-addressed local memory for a processor node.
+
+The handler sequences and the TAM runtime only ever move aligned 32-bit
+words, so the memory is modelled as a sparse word store.  Addresses are
+byte addresses (as the 88100's are) and must be 4-byte aligned; the model
+traps misalignment immediately because a misaligned handler address
+computation is always a bug in this codebase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.errors import MachineError
+from repro.utils.bitfield import to_word
+
+WORD_BYTES = 4
+
+
+class Memory:
+    """A sparse, word-granular 32-bit memory.
+
+    Uninitialised words read as zero, which matches how the evaluation
+    programs use memory (tables are written before they are read; the
+    I-structure layer adds its own presence checking on top).
+    """
+
+    def __init__(self) -> None:
+        self._words: Dict[int, int] = {}
+        self.loads = 0
+        self.stores = 0
+
+    @staticmethod
+    def _check_address(address: int) -> int:
+        if address < 0:
+            raise MachineError(f"negative memory address {address:#x}")
+        if address % WORD_BYTES:
+            raise MachineError(f"misaligned memory address {address:#x}")
+        return address
+
+    def load(self, address: int) -> int:
+        """Read the word at byte address ``address``."""
+        self.loads += 1
+        return self._words.get(self._check_address(address), 0)
+
+    def store(self, address: int, value: int) -> None:
+        """Write the word at byte address ``address``."""
+        self.stores += 1
+        self._words[self._check_address(address)] = to_word(value)
+
+    def load_block(self, address: int, count: int) -> List[int]:
+        """Read ``count`` consecutive words starting at ``address``."""
+        base = self._check_address(address)
+        return [self._words.get(base + WORD_BYTES * i, 0) for i in range(count)]
+
+    def store_block(self, address: int, values: Iterable[int]) -> None:
+        """Write consecutive words starting at ``address``."""
+        base = self._check_address(address)
+        for offset, value in enumerate(values):
+            self._words[base + WORD_BYTES * offset] = to_word(value)
+
+    def __len__(self) -> int:
+        """Number of words ever written."""
+        return len(self._words)
+
+    def clear(self) -> None:
+        self._words.clear()

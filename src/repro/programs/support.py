@@ -1,0 +1,75 @@
+"""Shared helpers for building TAM programs.
+
+TAM codeblocks are built programmatically (the paper's were compiled from
+Id); these helpers keep the generated code readable: named frame-slot
+allocation instead of magic numbers, and the accumulate-on-arrival inlet
+pattern both evaluation programs use to collect results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import TamError
+
+
+class Slots:
+    """Named frame-slot allocation for one codeblock."""
+
+    def __init__(self) -> None:
+        self._names: Dict[str, int] = {}
+        self._next = 0
+
+    def one(self, name: str) -> int:
+        """Allocate (or look up) a single named slot."""
+        if name not in self._names:
+            self._names[name] = self._next
+            self._next += 1
+        return self._names[name]
+
+    def many(self, name: str, count: int) -> List[int]:
+        """Allocate ``count`` consecutive slots named ``name[0..count)``."""
+        first = self._names.get(f"{name}[0]")
+        if first is None:
+            first = self._next
+            for index in range(count):
+                key = f"{name}[{index}]"
+                if key in self._names:
+                    raise TamError(f"slot group {name!r} partially allocated")
+                self._names[key] = first + index
+            self._next += count
+        return [first + index for index in range(count)]
+
+    def __getitem__(self, name: str) -> int:
+        try:
+            return self._names[name]
+        except KeyError:
+            raise TamError(f"unknown slot {name!r}") from None
+
+    @property
+    def size(self) -> int:
+        """Frame size needed for everything allocated so far."""
+        return self._next
+
+
+class InletNumbers:
+    """Sequential inlet numbering with names."""
+
+    def __init__(self) -> None:
+        self._names: Dict[str, int] = {}
+        self._next = 0
+
+    def one(self, name: str) -> int:
+        if name not in self._names:
+            self._names[name] = self._next
+            self._next += 1
+        return self._names[name]
+
+    def many(self, name: str, count: int) -> List[int]:
+        return [self.one(f"{name}[{index}]") for index in range(count)]
+
+    def __getitem__(self, name: str) -> int:
+        try:
+            return self._names[name]
+        except KeyError:
+            raise TamError(f"unknown inlet {name!r}") from None

@@ -1,0 +1,5 @@
+"""Analytic models of the surveyed interface categories (paper Section 1)."""
+
+from repro.survey.models import SURVEY, SurveyInterface, survey_principles_satisfied
+
+__all__ = ["SURVEY", "SurveyInterface", "survey_principles_satisfied"]

@@ -1,0 +1,286 @@
+"""The TL0-flavoured instruction set of the TAM substrate.
+
+The paper's programs were compiled to Berkeley's Threaded Abstract Machine
+(TAM, [CSS+91]): codeblocks of short non-blocking *threads* over an
+activation *frame*, with *inlets* receiving messages and synchronisation
+counters enabling threads once their inputs have arrived.  This module
+defines the instruction set our TAM runtime executes; it keeps exactly the
+features the evaluation needs:
+
+* frame-slot data movement and integer/float operations;
+* thread control (FORK / SWITCH / STOP, counter reset for loop threads);
+* inter-frame communication — every cross-frame interaction is a message
+  (the paper compiled its programs "so that any two procedure invocations
+  would communicate across the network"): frame allocation, argument
+  sends, I-structure allocation, IFETCH (a PRead), ISTORE (a PWrite), and
+  plain remote memory READ / WRITE.
+
+Operands are frame-slot indices unless a parameter is documented as an
+immediate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+Operand = Union[int, "Imm"]
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand (slot indices are plain ints)."""
+
+    value: float
+
+
+class Op(enum.Enum):
+    """Arithmetic/logic functions for :class:`OpInstr`."""
+
+    IADD = "iadd"
+    ISUB = "isub"
+    IMUL = "imul"
+    IDIV = "idiv"
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    LT = "lt"
+    LE = "le"
+    EQ = "eq"
+    AND = "and"
+    OR = "or"
+    MIN = "min"
+    MAX = "max"
+
+    @property
+    def is_float(self) -> bool:
+        return self in (Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV)
+
+
+class Kind(enum.Enum):
+    """Instruction classes; the dynamic mix is accounted per kind."""
+
+    CON = "con"
+    MOV = "mov"
+    IOP = "iop"
+    FOP = "fop"
+    FORK = "fork"
+    SWITCH = "switch"
+    STOP = "stop"
+    RESET = "reset"
+    FALLOC = "falloc"
+    SEND = "send"
+    IALLOC = "ialloc"
+    IFETCH = "ifetch"
+    ISTORE = "istore"
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Instr:
+    """Base class for TAM instructions."""
+
+    @property
+    def kind(self) -> Kind:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConInstr(Instr):
+    """``slots[dest] = value``"""
+
+    dest: int
+    value: float
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.CON
+
+
+@dataclass(frozen=True)
+class MovInstr(Instr):
+    """``slots[dest] = slots[src]``"""
+
+    dest: int
+    src: int
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.MOV
+
+
+@dataclass(frozen=True)
+class SelfInstr(Instr):
+    """``slots[dest] = this activation's frame reference``.
+
+    TAM code always has its own frame pointer at hand; materialising it
+    into a slot costs one move.
+    """
+
+    dest: int
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.MOV
+
+
+@dataclass(frozen=True)
+class OpInstr(Instr):
+    """``slots[dest] = op(a, b)``; operands are slots or immediates."""
+
+    op: Op
+    dest: int
+    a: Operand
+    b: Operand
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.FOP if self.op.is_float else Kind.IOP
+
+
+@dataclass(frozen=True)
+class ForkInstr(Instr):
+    """Post another thread of this activation onto the continuation vector."""
+
+    label: str
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.FORK
+
+
+@dataclass(frozen=True)
+class SwitchInstr(Instr):
+    """Post ``then_label`` if ``slots[cond]`` is truthy, else ``else_label``."""
+
+    cond: int
+    then_label: str
+    else_label: Optional[str] = None
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.SWITCH
+
+
+@dataclass(frozen=True)
+class StopInstr(Instr):
+    """End of thread; the scheduler pops the next continuation."""
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.STOP
+
+
+@dataclass(frozen=True)
+class ResetInstr(Instr):
+    """Re-arm sync counter ``counter`` to ``count`` (loop threads)."""
+
+    counter: str
+    count: int
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.RESET
+
+
+@dataclass(frozen=True)
+class FallocInstr(Instr):
+    """Allocate an activation of ``codeblock`` on the next node.
+
+    The frame reference arrives (as a message) at inlet ``reply_inlet``.
+    Costed as one request Send plus one reply Send.
+    """
+
+    codeblock: str
+    reply_inlet: int
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.FALLOC
+
+
+@dataclass(frozen=True)
+class SendInstr(Instr):
+    """Send up to two frame-slot values to ``inlet`` of the frame in ``frame_slot``."""
+
+    frame_slot: int
+    inlet: int
+    values: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.values) > 2:
+            raise ValueError("a Send message carries at most two data words")
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.SEND
+
+
+@dataclass(frozen=True)
+class IallocInstr(Instr):
+    """Allocate an I-structure of ``slots[length]`` elements; descriptor to ``reply_inlet``."""
+
+    length: Operand
+    reply_inlet: int
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.IALLOC
+
+
+@dataclass(frozen=True)
+class IfetchInstr(Instr):
+    """PRead element ``slots[index]`` of the I-structure in ``desc_slot``.
+
+    The reply (a one-word Send) lands at ``reply_inlet`` of this frame.
+    """
+
+    desc_slot: int
+    index: Operand
+    reply_inlet: int
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.IFETCH
+
+
+@dataclass(frozen=True)
+class IstoreInstr(Instr):
+    """PWrite ``slots[value]`` into element ``slots[index]`` of ``desc_slot``."""
+
+    desc_slot: int
+    index: Operand
+    value: int
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.ISTORE
+
+
+@dataclass(frozen=True)
+class ReadInstr(Instr):
+    """Plain remote read of word ``slots[address]`` on ``slots[node]``."""
+
+    node_slot: int
+    address: Operand
+    reply_inlet: int
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.READ
+
+
+@dataclass(frozen=True)
+class WriteInstr(Instr):
+    """Plain remote write of ``slots[value]`` to ``slots[node]``'s memory."""
+
+    node_slot: int
+    address: Operand
+    value: int
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.WRITE

@@ -1,0 +1,517 @@
+"""The TAM runtime: multi-node execution with full message accounting.
+
+This is the reproduction's equivalent of the Berkeley TAM simulator the
+paper used (Section 4.2.1): it executes codeblocks over a set of nodes,
+counts every TAM instruction by class, and counts every inter-frame
+message by type and outcome.  Like the paper's simulator it "does not
+model any number of processors or any network latency" for *timing* —
+messages are delivered reliably and scheduling is deterministic — but the
+*placement* is real: frames and I-structures are distributed round-robin
+and every cross-frame interaction is a message, exactly as the programs
+were compiled for the paper.
+
+Scheduling is LIFO per node (the paper determined its presence-bit
+outcome ratios under "LIFO scheduling of dataflow tokens"); nodes are
+serviced round-robin, one message or one thread per turn, so runs are
+reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import DeadlockError, TamError
+from repro.node.istructure import DeferredReader, IStructureMemory
+from repro.node.memory import Memory
+from repro.tam.codeblock import Codeblock
+from repro.tam.frame import Frame, FrameRef
+from repro.tam.instructions import (
+    ConInstr,
+    FallocInstr,
+    ForkInstr,
+    IallocInstr,
+    IfetchInstr,
+    Imm,
+    Instr,
+    IstoreInstr,
+    Kind,
+    MovInstr,
+    Op,
+    OpInstr,
+    ReadInstr,
+    ResetInstr,
+    SelfInstr,
+    SendInstr,
+    StopInstr,
+    SwitchInstr,
+    WriteInstr,
+)
+from repro.tam.stats import TamStats
+
+_FRAME_ID_BITS = 22
+
+
+@dataclass(frozen=True)
+class IStructRef:
+    """A global I-structure name: (node, local descriptor)."""
+
+    node: int
+    descriptor: int
+
+
+class MsgKind(enum.Enum):
+    SEND = "send"
+    FALLOC = "falloc"
+    IALLOC = "ialloc"
+    PREAD = "pread"
+    PWRITE = "pwrite"
+    READ = "read"
+    WRITE = "write"
+    REPLY = "reply"  # a read / pread-full / forwarded value (costed as
+    # part of the requesting operation, received as a Send)
+
+
+@dataclass(frozen=True)
+class TamMessage:
+    kind: MsgKind
+    node: int
+    inlet: int = 0
+    frame_id: int = 0
+    values: Tuple = ()
+    codeblock: str = ""
+    reply_to: Optional[Tuple[FrameRef, int]] = None
+    descriptor: int = 0
+    index: int = 0
+    address: int = 0
+
+
+class _NodeState:
+    """Per-node runtime state."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.inbox: List[TamMessage] = []
+        self.stack: List[Tuple[Frame, str]] = []
+        self.frames: Dict[int, Frame] = {}
+        self.istructures = IStructureMemory()
+        self.memory = Memory()
+        self.next_frame_id = 1
+
+
+class TamMachine:
+    """A whole TAM machine."""
+
+    def __init__(self, n_nodes: int = 1) -> None:
+        if n_nodes < 1:
+            raise TamError("a TAM machine needs at least one node")
+        self.n_nodes = n_nodes
+        self.nodes = [_NodeState(n) for n in range(n_nodes)]
+        self.codeblocks: Dict[str, Codeblock] = {}
+        self.stats = TamStats()
+        self._rr_next = 0
+
+    # ------------------------------------------------------------------
+    # Program loading and boot.
+    # ------------------------------------------------------------------
+
+    def load(self, codeblock: Codeblock) -> None:
+        codeblock.validate()
+        if codeblock.name in self.codeblocks:
+            raise TamError(f"codeblock {codeblock.name!r} already loaded")
+        self.codeblocks[codeblock.name] = codeblock
+
+    def boot(
+        self, codeblock_name: str, slots: Optional[Dict[int, object]] = None
+    ) -> FrameRef:
+        """Create the root activation on node 0 and post its entry thread.
+
+        Boot is runtime setup, not program communication: it sends no
+        messages and counts nothing.
+        """
+        frame = self._allocate_frame(0, codeblock_name)
+        for slot, value in (slots or {}).items():
+            frame.write(slot, value)
+        codeblock = frame.codeblock
+        if codeblock.entry is None:
+            raise TamError(f"codeblock {codeblock_name!r} has no entry thread")
+        self.nodes[0].stack.append((frame, codeblock.entry))
+        return frame.ref
+
+    def _allocate_frame(self, node_id: int, codeblock_name: str) -> Frame:
+        try:
+            codeblock = self.codeblocks[codeblock_name]
+        except KeyError:
+            raise TamError(f"unknown codeblock {codeblock_name!r}") from None
+        state = self.nodes[node_id]
+        ref = FrameRef(node_id, state.next_frame_id)
+        state.next_frame_id += 1
+        frame = Frame(codeblock, ref)
+        state.frames[ref.frame_id] = frame
+        self.stats.frames_allocated += 1
+        return frame
+
+    def read_slot(self, ref: FrameRef, slot: int):
+        """Host-level frame inspection (results, not program semantics)."""
+        return self._frame(self.nodes[ref.node], ref.frame_id).read(slot)
+
+    def write_slot(self, ref: FrameRef, slot: int, value) -> None:
+        """Host-level frame setup (e.g. banking the root's own reference)."""
+        self._frame(self.nodes[ref.node], ref.frame_id).write(slot, value)
+
+    def istructure_peek(self, ref: "IStructRef", index: int):
+        """Host-level I-structure inspection."""
+        return self.nodes[ref.node].istructures.peek(ref.descriptor, index)
+
+    def _round_robin(self) -> int:
+        node = self._rr_next
+        self._rr_next = (self._rr_next + 1) % self.n_nodes
+        return node
+
+    # ------------------------------------------------------------------
+    # Main loop.
+    # ------------------------------------------------------------------
+
+    def run(self, max_turns: int = 100_000_000) -> TamStats:
+        """Execute to quiescence; returns the accumulated statistics."""
+        turns = 0
+        while True:
+            progressed = False
+            for state in self.nodes:
+                # Enabled threads drain before new messages are accepted
+                # (TAM's continuation vector has priority over inlets);
+                # this also guarantees a counter re-armed by its own
+                # thread is reset before the next message decrements it.
+                if state.stack:
+                    frame, label = state.stack.pop()
+                    self._run_thread(state, frame, label)
+                    progressed = True
+                elif state.inbox:
+                    self._process_message(state, state.inbox.pop(0))
+                    progressed = True
+                turns += 1
+                if turns > max_turns:
+                    raise TamError(f"TAM run exceeded {max_turns} turns")
+            if not progressed:
+                break
+        self._check_quiescence()
+        return self.stats
+
+    def _check_quiescence(self) -> None:
+        """Detect computations that stopped with unsatisfied waiters.
+
+        General deadlock detection (a sync counter nothing will ever
+        decrement) is undecidable without program knowledge; what *is*
+        always wrong at quiescence is an I-structure reader still
+        deferred — no work remains that could ever write the element.
+        """
+        waiters = sum(
+            state.istructures.stats.reads_empty
+            + state.istructures.stats.reads_deferred
+            - state.istructures.stats.deferred_readers_satisfied
+            for state in self.nodes
+        )
+        if waiters > 0:
+            raise DeadlockError(
+                f"computation quiesced with {waiters} deferred I-structure "
+                "reader(s) never satisfied"
+            )
+
+    # ------------------------------------------------------------------
+    # Thread execution.
+    # ------------------------------------------------------------------
+
+    def _run_thread(self, state: _NodeState, frame: Frame, label: str) -> None:
+        self.stats.threads_run += 1
+        for instr in frame.codeblock.thread(label):
+            self.stats.count_instruction(instr.kind)
+            if self._execute(state, frame, instr):
+                return
+        raise TamError(
+            f"thread {label!r} of {frame.codeblock.name!r} fell off its end "
+            "without STOP"
+        )
+
+    def _operand(self, frame: Frame, operand) -> object:
+        if isinstance(operand, Imm):
+            return operand.value
+        return frame.read(operand)
+
+    def _execute(self, state: _NodeState, frame: Frame, instr: Instr) -> bool:
+        """Run one instruction; True ends the thread."""
+        if isinstance(instr, ConInstr):
+            frame.write(instr.dest, instr.value)
+        elif isinstance(instr, MovInstr):
+            frame.write(instr.dest, frame.read(instr.src))
+        elif isinstance(instr, SelfInstr):
+            frame.write(instr.dest, frame.ref)
+        elif isinstance(instr, OpInstr):
+            a = self._operand(frame, instr.a)
+            b = self._operand(frame, instr.b)
+            frame.write(instr.dest, _apply(instr.op, a, b))
+        elif isinstance(instr, ForkInstr):
+            state.stack.append((frame, instr.label))
+        elif isinstance(instr, SwitchInstr):
+            if frame.read(instr.cond):
+                state.stack.append((frame, instr.then_label))
+            elif instr.else_label is not None:
+                state.stack.append((frame, instr.else_label))
+        elif isinstance(instr, StopInstr):
+            return True
+        elif isinstance(instr, ResetInstr):
+            frame.reset(instr.counter, instr.count)
+        elif isinstance(instr, FallocInstr):
+            target = self._round_robin()
+            self.stats.messages.count_send(1)
+            self._post(
+                TamMessage(
+                    MsgKind.FALLOC,
+                    node=target,
+                    codeblock=instr.codeblock,
+                    reply_to=(frame.ref, instr.reply_inlet),
+                )
+            )
+        elif isinstance(instr, SendInstr):
+            ref = frame.read(instr.frame_slot)
+            if not isinstance(ref, FrameRef):
+                raise TamError(
+                    f"SEND through slot {instr.frame_slot} which holds "
+                    f"{ref!r}, not a frame reference"
+                )
+            values = tuple(frame.read(slot) for slot in instr.values)
+            self.stats.messages.count_send(len(values))
+            self._post(
+                TamMessage(
+                    MsgKind.SEND,
+                    node=ref.node,
+                    frame_id=ref.frame_id,
+                    inlet=instr.inlet,
+                    values=values,
+                )
+            )
+        elif isinstance(instr, IallocInstr):
+            target = self._round_robin()
+            length = int(self._operand(frame, instr.length))
+            self.stats.messages.count_send(1)
+            self._post(
+                TamMessage(
+                    MsgKind.IALLOC,
+                    node=target,
+                    index=length,
+                    reply_to=(frame.ref, instr.reply_inlet),
+                )
+            )
+        elif isinstance(instr, IfetchInstr):
+            ref = frame.read(instr.desc_slot)
+            if not isinstance(ref, IStructRef):
+                raise TamError(
+                    f"IFETCH through slot {instr.desc_slot} which holds "
+                    f"{ref!r}, not an I-structure reference"
+                )
+            self._post(
+                TamMessage(
+                    MsgKind.PREAD,
+                    node=ref.node,
+                    descriptor=ref.descriptor,
+                    index=int(self._operand(frame, instr.index)),
+                    reply_to=(frame.ref, instr.reply_inlet),
+                )
+            )
+        elif isinstance(instr, IstoreInstr):
+            ref = frame.read(instr.desc_slot)
+            if not isinstance(ref, IStructRef):
+                raise TamError(
+                    f"ISTORE through slot {instr.desc_slot} which holds "
+                    f"{ref!r}, not an I-structure reference"
+                )
+            self._post(
+                TamMessage(
+                    MsgKind.PWRITE,
+                    node=ref.node,
+                    descriptor=ref.descriptor,
+                    index=int(self._operand(frame, instr.index)),
+                    values=(frame.read(instr.value),),
+                )
+            )
+        elif isinstance(instr, ReadInstr):
+            self._post(
+                TamMessage(
+                    MsgKind.READ,
+                    node=int(frame.read(instr.node_slot)),
+                    address=int(self._operand(frame, instr.address)),
+                    reply_to=(frame.ref, instr.reply_inlet),
+                )
+            )
+        elif isinstance(instr, WriteInstr):
+            self._post(
+                TamMessage(
+                    MsgKind.WRITE,
+                    node=int(frame.read(instr.node_slot)),
+                    address=int(self._operand(frame, instr.address)),
+                    values=(frame.read(instr.value),),
+                )
+            )
+        else:  # pragma: no cover - exhaustive over instruction types
+            raise TamError(f"unimplemented instruction {instr!r}")
+        return False
+
+    # ------------------------------------------------------------------
+    # Message processing.
+    # ------------------------------------------------------------------
+
+    def _post(self, message: TamMessage) -> None:
+        if message.node < 0 or message.node >= self.n_nodes:
+            raise TamError(f"message addressed to unknown node {message.node}")
+        self.nodes[message.node].inbox.append(message)
+
+    def _frame(self, state: _NodeState, frame_id: int) -> Frame:
+        try:
+            return state.frames[frame_id]
+        except KeyError:
+            raise TamError(
+                f"node {state.node_id}: no frame {frame_id}"
+            ) from None
+
+    def _deliver_to_inlet(
+        self, state: _NodeState, frame_id: int, inlet: int, values: Tuple
+    ) -> None:
+        frame = self._frame(state, frame_id)
+        spec = frame.codeblock.inlet(inlet)
+        for slot, value in zip(spec.dest_slots, values):
+            frame.write(slot, value)
+        if spec.counter is not None:
+            posted = frame.decrement(spec.counter)
+            if posted is not None:
+                state.stack.append((frame, posted))
+
+    def _reply(self, reply_to: Tuple[FrameRef, int], values: Tuple) -> None:
+        ref, inlet = reply_to
+        self._post(
+            TamMessage(
+                MsgKind.REPLY,
+                node=ref.node,
+                frame_id=ref.frame_id,
+                inlet=inlet,
+                values=values,
+            )
+        )
+
+    def _process_message(self, state: _NodeState, message: TamMessage) -> None:
+        mix = self.stats.messages
+        if message.kind in (MsgKind.SEND, MsgKind.REPLY):
+            self._deliver_to_inlet(
+                state, message.frame_id, message.inlet, message.values
+            )
+        elif message.kind is MsgKind.FALLOC:
+            frame = self._allocate_frame(state.node_id, message.codeblock)
+            if frame.codeblock.entry is not None:
+                state.stack.append((frame, frame.codeblock.entry))
+            assert message.reply_to is not None
+            mix.count_send(1)  # the frame-reference reply is a Send
+            self._post(
+                TamMessage(
+                    MsgKind.SEND,
+                    node=message.reply_to[0].node,
+                    frame_id=message.reply_to[0].frame_id,
+                    inlet=message.reply_to[1],
+                    values=(frame.ref,),
+                )
+            )
+        elif message.kind is MsgKind.IALLOC:
+            descriptor = state.istructures.allocate(message.index)
+            self.stats.istructures_allocated += 1
+            assert message.reply_to is not None
+            mix.count_send(1)
+            self._post(
+                TamMessage(
+                    MsgKind.SEND,
+                    node=message.reply_to[0].node,
+                    frame_id=message.reply_to[0].frame_id,
+                    inlet=message.reply_to[1],
+                    values=(IStructRef(state.node_id, descriptor),),
+                )
+            )
+        elif message.kind is MsgKind.PREAD:
+            assert message.reply_to is not None
+            reader = _encode_reader(message.reply_to)
+            outcome, value = state.istructures.read(
+                message.descriptor, message.index, reader
+            )
+            if outcome == "full":
+                mix.preads_full += 1
+                self._reply(message.reply_to, (value,))
+            elif outcome == "empty":
+                mix.preads_empty += 1
+            else:
+                mix.preads_deferred += 1
+        elif message.kind is MsgKind.PWRITE:
+            outcome, satisfied = state.istructures.write(
+                message.descriptor, message.index, message.values[0]
+            )
+            if outcome == "empty":
+                mix.pwrites_empty += 1
+            else:
+                mix.pwrites_deferred += 1
+                mix.deferred_readers_satisfied += len(satisfied)
+            for reader in satisfied:
+                self._reply(_decode_reader(reader), (message.values[0],))
+        elif message.kind is MsgKind.READ:
+            mix.reads += 1
+            assert message.reply_to is not None
+            self._reply(
+                message.reply_to, (state.memory.load(message.address),)
+            )
+        elif message.kind is MsgKind.WRITE:
+            mix.writes += 1
+            state.memory.store(message.address, int(message.values[0]))
+        else:  # pragma: no cover - exhaustive over MsgKind
+            raise TamError(f"unimplemented message kind {message.kind}")
+
+
+def _encode_reader(reply_to: Tuple[FrameRef, int]) -> DeferredReader:
+    ref, inlet = reply_to
+    return DeferredReader(
+        frame_pointer=(ref.node << _FRAME_ID_BITS) | ref.frame_id,
+        instruction_pointer=inlet,
+    )
+
+
+def _decode_reader(reader: DeferredReader) -> Tuple[FrameRef, int]:
+    node = reader.frame_pointer >> _FRAME_ID_BITS
+    frame_id = reader.frame_pointer & ((1 << _FRAME_ID_BITS) - 1)
+    return FrameRef(node, frame_id), reader.instruction_pointer
+
+
+def _apply(op: Op, a, b):
+    if op is Op.IADD:
+        return int(a) + int(b)
+    if op is Op.ISUB:
+        return int(a) - int(b)
+    if op is Op.IMUL:
+        return int(a) * int(b)
+    if op is Op.IDIV:
+        return int(a) // int(b)
+    if op is Op.FADD:
+        return float(a) + float(b)
+    if op is Op.FSUB:
+        return float(a) - float(b)
+    if op is Op.FMUL:
+        return float(a) * float(b)
+    if op is Op.FDIV:
+        return float(a) / float(b)
+    if op is Op.LT:
+        return 1 if a < b else 0
+    if op is Op.LE:
+        return 1 if a <= b else 0
+    if op is Op.EQ:
+        return 1 if a == b else 0
+    if op is Op.AND:
+        return 1 if (a and b) else 0
+    if op is Op.OR:
+        return 1 if (a or b) else 0
+    if op is Op.MIN:
+        return a if a < b else b
+    if op is Op.MAX:
+        return a if a > b else b
+    raise TamError(f"unimplemented op {op}")

@@ -1,0 +1,98 @@
+"""Deterministic, splittable pseudo-random number generation.
+
+The Gamteb reproduction is a Monte Carlo photon-transport simulation.  To
+keep every run (and therefore every test and benchmark) bit-for-bit
+reproducible, we avoid Python's global :mod:`random` state entirely and use
+an explicit 64-bit SplitMix-style generator.  Each photon receives its own
+independent stream derived from the run seed and the photon index, so
+results are independent of scheduling order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+_GAMMA = 0x9E37_79B9_7F4A_7C15
+
+
+def _mix64(z: int) -> int:
+    """SplitMix64 finalizer: diffuse the bits of ``z``."""
+    z &= _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58_476D_1CE4_E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D0_49BB_1331_11EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+@dataclass
+class SplitMix64:
+    """A tiny, fast, splittable PRNG (SplitMix64).
+
+    Not cryptographic; statistically solid for Monte Carlo workloads of the
+    size used here and, critically, *splittable*: :meth:`split` derives an
+    independent child stream, which we use to give each photon its own
+    generator regardless of execution interleaving.
+    """
+
+    state: int
+
+    def __post_init__(self) -> None:
+        self.state &= _MASK64
+
+    def next_u64(self) -> int:
+        """Return the next 64-bit unsigned integer."""
+        self.state = (self.state + _GAMMA) & _MASK64
+        return _mix64(self.state)
+
+    def next_float(self) -> float:
+        """Return a float uniformly distributed in [0, 1)."""
+        return (self.next_u64() >> 11) * (1.0 / (1 << 53))
+
+    def next_below(self, bound: int) -> int:
+        """Return an integer uniformly distributed in [0, bound)."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        # Rejection sampling to avoid modulo bias; the loop terminates with
+        # probability 1 and in practice almost always on the first draw.
+        limit = (_MASK64 + 1) - ((_MASK64 + 1) % bound)
+        while True:
+            draw = self.next_u64()
+            if draw < limit:
+                return draw % bound
+
+    def split(self, salt: int = 0) -> "SplitMix64":
+        """Derive an independent child generator.
+
+        The child's seed mixes this generator's next output with ``salt`` so
+        that ``rng.split(i)`` for distinct ``i`` yields distinct streams even
+        without advancing the parent differently.
+        """
+        return SplitMix64(_mix64(self.next_u64() ^ _mix64(salt)))
+
+    def choice_index(self, weights: list[float]) -> int:
+        """Sample an index proportionally to non-negative ``weights``."""
+        if any(weight < 0.0 for weight in weights):
+            raise ValueError("weights must be non-negative")
+        total = sum(weights)
+        if total <= 0.0:
+            raise ValueError("weights must have a positive sum")
+        point = self.next_float() * total
+        acc = 0.0
+        for index, weight in enumerate(weights):
+            acc += weight
+            if point < acc:
+                return index
+        return len(weights) - 1
+
+
+def stream_for(seed: int, *path: int) -> SplitMix64:
+    """Build the generator for a hierarchical position.
+
+    ``stream_for(seed, photon_index)`` and ``stream_for(seed, photon_index,
+    collision_index)`` give stable, independent streams keyed by position in
+    the simulation rather than by execution order.
+    """
+    state = _mix64(seed)
+    for component in path:
+        state = _mix64(state ^ _mix64(component ^ _GAMMA))
+    return SplitMix64(state)

@@ -1,0 +1,115 @@
+"""Fixed-width text table rendering for evaluation reports.
+
+Every evaluation harness (Table 1, Figure 12, the latency sweep, the
+ablations) prints its results as aligned text tables so they can be compared
+directly against the paper.  This module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Numeric cells are right-aligned, text cells left-aligned; integers get
+    thousands separators.  Returns the table as a single string ending
+    without a trailing newline.
+    """
+    materialized: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    numeric: List[bool] = []
+    all_rows = materialized if materialized else [[str(h) for h in headers]]
+    for col in range(len(headers)):
+        numeric.append(
+            all(
+                _looks_numeric(row[col])
+                for row in materialized
+                if col < len(row) and row[col]
+            )
+            and bool(materialized)
+        )
+    widths = [len(str(h)) for h in headers]
+    for row in materialized:
+        for col, text in enumerate(row):
+            if col < len(widths):
+                widths[col] = max(widths[col], len(text))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for col, text in enumerate(cells):
+            if col >= len(widths):
+                parts.append(text)
+            elif numeric[col]:
+                parts.append(text.rjust(widths[col]))
+            else:
+                parts.append(text.ljust(widths[col]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row([str(h) for h in headers]))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    for row in materialized:
+        lines.append(fmt_row(row))
+    return "\n".join(lines)
+
+
+def _looks_numeric(text: str) -> bool:
+    stripped = text.replace(",", "").replace("%", "").replace("+", "").replace("-", "")
+    if not stripped:
+        return False
+    try:
+        float(stripped)
+    except ValueError:
+        return False
+    return True
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    series: Sequence[tuple[str, Sequence[float]]],
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """Render stacked horizontal bars, one per label, as ASCII.
+
+    ``series`` is a list of ``(component name, values per label)`` pairs; the
+    components are stacked the way Figure 12 stacks compute / dispatch /
+    other-communication.  Each component uses a distinct fill character.
+    """
+    fills = "#=+*o."
+    totals = [sum(values[i] for _, values in series) for i in range(len(labels))]
+    peak = max(totals) if totals else 1.0
+    if peak <= 0:
+        peak = 1.0
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    label_width = max((len(label) for label in labels), default=0)
+    for i, label in enumerate(labels):
+        bar = ""
+        for s, (_, values) in enumerate(series):
+            segment = int(round(values[i] / peak * width))
+            bar += fills[s % len(fills)] * segment
+        lines.append(f"{label.ljust(label_width)} |{bar}  {totals[i]:,.0f}")
+    legend = "  ".join(
+        f"{fills[s % len(fills)]}={name}" for s, (name, _) in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

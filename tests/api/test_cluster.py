@@ -1,0 +1,128 @@
+"""Tests for the high-level Cluster API."""
+
+import pytest
+
+from repro.api.cluster import Cluster, RemoteValue
+from repro.errors import NetworkError
+from repro.network.topology import Hypercube, Mesh2D, Torus2D
+
+
+class TestConstruction:
+    def test_default_cluster(self):
+        cluster = Cluster()
+        assert cluster.n_nodes == 4
+
+    def test_custom_topology(self):
+        cluster = Cluster(Hypercube(3))
+        assert cluster.n_nodes == 8
+
+    def test_node_lookup_checked(self):
+        with pytest.raises(NetworkError):
+            Cluster(Mesh2D(2, 2)).node(7)
+
+
+class TestRemoteMemory:
+    def test_remote_read(self):
+        cluster = Cluster(Mesh2D(4, 4))
+        cluster.node(13).memory.store(0x500, 31337)
+        assert cluster.remote_read(source=2, target=13, address=0x500) == 31337
+
+    def test_remote_write_then_read(self):
+        cluster = Cluster(Mesh2D(3, 3))
+        cluster.remote_write(source=0, target=8, address=0x40, value=99)
+        assert cluster.node(8).memory.load(0x40) == 99
+        assert cluster.remote_read(source=4, target=8, address=0x40) == 99
+
+    def test_read_own_node(self):
+        cluster = Cluster(Mesh2D(2, 2))
+        cluster.node(1).memory.store(0x10, 5)
+        assert cluster.remote_read(source=1, target=1, address=0x10) == 5
+
+    def test_unready_remote_value_raises(self):
+        with pytest.raises(NetworkError):
+            RemoteValue().get()
+
+
+class TestIStructures:
+    def test_read_after_write(self):
+        cluster = Cluster(Torus2D(3, 3))
+        desc = cluster.istructure_alloc(4, length=8)
+        cluster.istructure_write(source=0, target=4, descriptor=desc, index=3, value=7)
+        result = cluster.istructure_read(source=8, target=4, descriptor=desc, index=3)
+        assert result.get() == 7
+
+    def test_deferred_read_satisfied_by_later_write(self):
+        cluster = Cluster(Mesh2D(3, 3))
+        desc = cluster.istructure_alloc(4, length=2)
+        pending = cluster.istructure_read(0, 4, desc, 0)
+        assert not pending.ready  # reader deferred on the empty element
+        cluster.istructure_write(8, 4, desc, 0, value=123)
+        assert pending.ready
+        assert pending.get() == 123
+
+    def test_many_deferred_readers(self):
+        cluster = Cluster(Mesh2D(4, 4))
+        desc = cluster.istructure_alloc(5, length=1)
+        pendings = [
+            cluster.istructure_read(source, 5, desc, 0)
+            for source in (0, 1, 2, 3, 6, 7)
+        ]
+        cluster.istructure_write(15, 5, desc, 0, value=55)
+        assert all(p.get() == 55 for p in pendings)
+        stats = cluster.istructure_stats()
+        assert stats.reads_empty == 1
+        assert stats.reads_deferred == 5
+        assert stats.deferred_readers_satisfied == 6
+
+
+class TestSpawn:
+    def test_spawn_runs_inlet_remotely(self):
+        cluster = Cluster(Mesh2D(2, 2))
+        results = []
+        ip = cluster.node(3).register_inlet(
+            lambda node, message: results.append(message.word(2) + message.word(3))
+        )
+        cluster.spawn(source=0, target=3, inlet_ip=ip, data=(20, 22))
+        assert results == [42]
+
+    def test_message_accounting(self):
+        cluster = Cluster(Mesh2D(2, 2))
+        cluster.remote_write(0, 3, 0x0, 1)
+        cluster.remote_write(1, 2, 0x0, 1)
+        assert cluster.total_messages_handled() == 2
+
+    def test_fabric_stats_accumulate(self):
+        cluster = Cluster(Mesh2D(4, 1))
+        cluster.remote_write(0, 3, 0x0, 1)
+        assert cluster.fabric.stats.delivered >= 1
+        assert cluster.fabric.stats.mean_hops >= 3
+
+
+class TestBlockOperations:
+    def test_block_write_then_block_read(self):
+        cluster = Cluster(Mesh2D(3, 3))
+        values = [10 * i + 3 for i in range(20)]
+        cluster.remote_block_write(source=0, target=8, address=0x400, values=values)
+        assert (
+            cluster.remote_block_read(source=4, target=8, address=0x400, count=20)
+            == values
+        )
+
+    def test_block_write_exercises_flow_control(self):
+        # 40 words overflow the 16-deep output queue: the sender must
+        # stall and drain through the fabric mid-burst.
+        cluster = Cluster(Mesh2D(2, 1))
+        values = list(range(40))
+        cluster.remote_block_write(source=0, target=1, address=0x0, values=values)
+        assert cluster.node(0).stats.send_retries > 0
+        assert [cluster.node(1).memory.load(4 * i) for i in range(40)] == values
+
+    def test_block_read_pipelines(self):
+        cluster = Cluster(Mesh2D(4, 1))
+        cluster.node(3).memory.store_block(0x100, [7, 8, 9])
+        assert cluster.remote_block_read(0, 3, 0x100, 3) == [7, 8, 9]
+
+    def test_empty_block_write(self):
+        cluster = Cluster(Mesh2D(2, 1))
+        cluster.remote_block_write(0, 1, 0x0, [])
+        assert cluster.total_messages_handled() == 0

@@ -1,0 +1,63 @@
+"""Tests for the off-chip latency sensitivity study (Section 4.2.3)."""
+
+import pytest
+
+from repro.eval.figure12 import run_program
+from repro.eval.latency import (
+    cost_table_at_latency,
+    relative_overheads,
+    render_sweep,
+    sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def matmul_stats():
+    return run_program("matmul", size=16)
+
+
+class TestCostTablesAtLatency:
+    def test_baseline_matches_default(self):
+        from repro.tam.costmap import measured_cost_table
+
+        at2 = cost_table_at_latency(2)
+        default = measured_cost_table("optimized-offchip")
+        assert at2.dispatch == default.dispatch
+        assert at2.processing == default.processing
+        assert at2.sending == default.sending
+
+    def test_sending_immune_to_latency(self):
+        # Sends are stores; read latency never touches them.
+        assert cost_table_at_latency(2).sending == cost_table_at_latency(16).sending
+
+    def test_processing_grows_with_latency(self):
+        at2 = cost_table_at_latency(2)
+        at8 = cost_table_at_latency(8)
+        assert at8.processing["read"] > at2.processing["read"]
+        assert at8.processing["send0"] > at2.processing["send0"]
+
+    def test_dispatch_grows_beyond_maskable_window(self):
+        assert cost_table_at_latency(8).dispatch > cost_table_at_latency(2).dispatch
+
+
+class TestSweep:
+    def test_overhead_monotonic_in_latency(self, matmul_stats):
+        points = sweep(matmul_stats, latencies=(2, 4, 8, 16))
+        overheads = [p.overhead for p in points]
+        assert overheads == sorted(overheads)
+        assert overheads[0] < overheads[-1]
+
+    def test_paper_doubling_claim(self, matmul_stats):
+        """'If the latency is increased to 8 cycles instead of 2, then the
+        communication costs of the off-chip optimized model will double.'"""
+        ratios = relative_overheads(sweep(matmul_stats, latencies=(2, 8)))
+        assert 1.7 <= ratios[8] <= 2.3
+
+    def test_baseline_ratio_is_one(self, matmul_stats):
+        ratios = relative_overheads(sweep(matmul_stats, latencies=(2, 4)))
+        assert ratios[2] == pytest.approx(1.0)
+
+    def test_render(self, matmul_stats):
+        text = render_sweep("matmul", sweep(matmul_stats, latencies=(2, 8)))
+        assert "latency" in text
+        assert "2-cycle baseline" in text

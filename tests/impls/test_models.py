@@ -1,0 +1,88 @@
+"""Tests for the six interface models and placement traits."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.impls import offchip, onchip, register_file
+from repro.impls.base import (
+    ALL_MODELS,
+    OPTIMIZED_OFF_CHIP,
+    OPTIMIZED_ON_CHIP,
+    OPTIMIZED_REGISTER,
+    Architecture,
+    model_by_key,
+)
+from repro.isa.machine import Placement
+
+
+class TestModelGrid:
+    def test_six_models(self):
+        assert len(ALL_MODELS) == 6
+
+    def test_keys_unique(self):
+        keys = [m.key for m in ALL_MODELS]
+        assert len(set(keys)) == 6
+
+    def test_lookup_by_key(self):
+        for model in ALL_MODELS:
+            assert model_by_key(model.key) == model
+
+    def test_unknown_key(self):
+        with pytest.raises(EvaluationError):
+            model_by_key("quantum-interface")
+
+    def test_titles_match_paper_columns(self):
+        assert OPTIMIZED_REGISTER.title == "Optimized Register Mapped"
+        assert OPTIMIZED_ON_CHIP.title == "Optimized On-chip Cache"
+
+    def test_make_machine_placement(self):
+        for model in ALL_MODELS:
+            machine = model.make_machine()
+            assert machine.placement is model.placement
+
+    def test_cost_models(self):
+        assert OPTIMIZED_OFF_CHIP.costs().ni_load_dead_cycles == 2
+        assert OPTIMIZED_ON_CHIP.costs().ni_load_dead_cycles == 0
+        assert OPTIMIZED_REGISTER.costs().ni_load_dead_cycles == 0
+
+
+class TestLatencyOverride:
+    def test_off_chip_latency_sweep(self):
+        swept = OPTIMIZED_OFF_CHIP.with_off_chip_latency(8)
+        assert swept.costs().ni_load_dead_cycles == 8
+        assert swept.architecture is Architecture.OPTIMIZED
+
+    def test_other_placements_reject_latency(self):
+        with pytest.raises(EvaluationError):
+            OPTIMIZED_ON_CHIP.with_off_chip_latency(8)
+
+
+class TestTraits:
+    def test_off_chip_needs_no_processor_change(self):
+        # Section 3.1: "this is the only implementation which requires no
+        # modifications of the processor chip."
+        assert not offchip.TRAITS.requires_processor_change
+        assert onchip.TRAITS.requires_processor_change
+        assert register_file.TRAITS.requires_processor_change
+
+    def test_on_chip_leaves_core_untouched(self):
+        assert not onchip.TRAITS.modifies_processor_core
+        assert register_file.TRAITS.modifies_processor_core
+
+    def test_queue_memory_about_three_quarters_kilobyte(self):
+        # Section 3.2's area estimate for two 16-message queues.
+        total = onchip.queue_memory_bytes()
+        assert 600 <= total <= 800
+
+    def test_rider_bits_are_seven(self):
+        # Section 3: SEND's mode+type plus NEXT "take up only seven bits".
+        assert register_file.RIDER_BITS == 7
+
+    def test_register_file_maps_fifteen_registers(self):
+        assert len(register_file.MAPPED_REGISTERS) == 15
+
+    def test_latency_helpers(self):
+        assert offchip.optimized_model(8).costs().ni_load_dead_cycles == 8
+        assert offchip.basic_model().key == "basic-offchip"
+        assert onchip.optimized_model().key == "optimized-onchip"
+        assert register_file.basic_model().key == "basic-register"

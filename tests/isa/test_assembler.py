@@ -1,0 +1,100 @@
+"""Tests for the placement-aware SequenceBuilder."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import SequenceBuilder
+from repro.isa.instructions import Opcode
+from repro.isa.machine import Placement
+from repro.nic.interface import SendMode
+
+
+class TestPlacementExpansion:
+    def test_ni_read_expands_to_move_on_register(self):
+        seq = (
+            SequenceBuilder("t", Placement.REGISTER).ni_read("a", "i0").build()
+        )
+        assert seq.instructions[0].opcode is Opcode.ALU
+
+    def test_ni_read_expands_to_load_on_mm(self):
+        for placement in (Placement.ON_CHIP, Placement.OFF_CHIP):
+            seq = SequenceBuilder("t", placement).ni_read("a", "i0").build()
+            assert seq.instructions[0].opcode is Opcode.NILOAD
+
+    def test_ni_write_expansion(self):
+        reg = SequenceBuilder("t", Placement.REGISTER).ni_write("o1", "v").build()
+        mm = SequenceBuilder("t", Placement.ON_CHIP).ni_write("o1", "v").build()
+        assert reg.instructions[0].opcode is Opcode.ALU
+        assert mm.instructions[0].opcode is Opcode.NISTORE
+
+    def test_ni_command_expansion(self):
+        reg = (
+            SequenceBuilder("t", Placement.REGISTER)
+            .ni_command(do_next=True)
+            .build()
+        )
+        mm = (
+            SequenceBuilder("t", Placement.ON_CHIP)
+            .ni_command(do_next=True)
+            .build()
+        )
+        assert reg.instructions[0].opcode is Opcode.ALU  # rider-carrying no-op
+        assert mm.instructions[0].opcode is Opcode.NICMD
+
+    def test_riders_preserved_through_expansion(self):
+        seq = (
+            SequenceBuilder("t", Placement.ON_CHIP)
+            .ni_write("o2", "v", send_mode=SendMode.REPLY, send_type=0, do_next=True)
+            .build()
+        )
+        riders = seq.instructions[0].riders
+        assert riders.send_mode is SendMode.REPLY
+        assert riders.do_next
+
+
+class TestErrors:
+    def test_ni_read_requires_ni_register(self):
+        with pytest.raises(AssemblyError):
+            SequenceBuilder("t", Placement.ON_CHIP).ni_read("a", "r5")
+
+    def test_ni_write_requires_ni_register(self):
+        with pytest.raises(AssemblyError):
+            SequenceBuilder("t", Placement.ON_CHIP).ni_write("fp", "v")
+
+    def test_ni_command_requires_a_command(self):
+        with pytest.raises(AssemblyError):
+            SequenceBuilder("t", Placement.ON_CHIP).ni_command()
+
+    def test_double_label_rejected(self):
+        builder = SequenceBuilder("t", Placement.ON_CHIP).label("a")
+        with pytest.raises(AssemblyError):
+            builder.label("b")
+
+    def test_dangling_label_rejected(self):
+        builder = SequenceBuilder("t", Placement.ON_CHIP).nop().label("end")
+        with pytest.raises(AssemblyError):
+            builder.build()
+
+    def test_label_attaches_to_next_instruction(self):
+        seq = (
+            SequenceBuilder("t", Placement.ON_CHIP)
+            .label("loop")
+            .nop()
+            .build()
+        )
+        assert seq.instructions[0].label == "loop"
+
+
+class TestFluency:
+    def test_chaining_returns_builder(self):
+        builder = SequenceBuilder("t", Placement.REGISTER)
+        assert builder.nop() is builder
+        assert builder.mov("a", "v") is builder
+
+    def test_build_snapshot_independent(self):
+        builder = SequenceBuilder("t", Placement.REGISTER).nop()
+        first = builder.build()
+        builder.nop()
+        second = builder.build()
+        assert len(first) == 1
+        assert len(second) == 2

@@ -1,0 +1,100 @@
+"""Direct tests for the three cycle-cost rules (paper Section 4.1)."""
+
+import pytest
+
+from repro.isa.costs import (
+    MASKABLE_DEAD_CYCLES,
+    OFF_CHIP_COSTS,
+    ON_CHIP_COSTS,
+    REGISTER_COSTS,
+    CostModel,
+    off_chip_with_latency,
+)
+from repro.isa.instructions import AluFn, Instruction, Opcode
+
+
+def niload(masked=False):
+    return Instruction(Opcode.NILOAD, rd="a", ni_register="i0", masked=masked)
+
+
+def memload(masked=False):
+    return Instruction(Opcode.LOAD, rd="a", rs1="p", masked=masked)
+
+
+class TestRuleTwoLoadLatency:
+    def test_off_chip_two_dead_cycles(self):
+        # "a loaded value cannot be used in the two cycles following".
+        assert OFF_CHIP_COSTS.load_ready_delay(niload()) == 3
+
+    def test_on_chip_single_cycle(self):
+        assert ON_CHIP_COSTS.load_ready_delay(niload()) == 1
+
+    def test_register_placement_single_cycle(self):
+        assert REGISTER_COSTS.load_ready_delay(niload()) == 1
+
+    def test_memory_loads_cached(self):
+        for model in (OFF_CHIP_COSTS, ON_CHIP_COSTS, REGISTER_COSTS):
+            assert model.load_ready_delay(memload()) == 1
+
+    def test_alu_results_ready_next_cycle(self):
+        alu = Instruction(Opcode.ALU, rd="a", rs1="v", rs2="t", fn=AluFn.ADD)
+        assert OFF_CHIP_COSTS.load_ready_delay(alu) == 1
+
+
+class TestMasking:
+    def test_masked_covers_baseline(self):
+        assert OFF_CHIP_COSTS.load_ready_delay(niload(masked=True)) == 1
+
+    def test_masking_window_is_baseline_latency(self):
+        assert MASKABLE_DEAD_CYCLES == 2
+
+    def test_masked_exposes_excess_latency(self):
+        # At 8 dead cycles, the NextMsgIp overlap hides only the first 2.
+        swept = off_chip_with_latency(8)
+        assert swept.load_ready_delay(niload(masked=True)) == 1 + (8 - 2)
+
+    def test_masked_memory_load_fully_hidden(self):
+        assert OFF_CHIP_COSTS.load_ready_delay(memload(masked=True)) == 1
+
+
+class TestRuleThreeDelaySlots:
+    def test_unfilled_slot_costs_one(self):
+        jump = Instruction(Opcode.JUMPREG, rs1="t")
+        assert OFF_CHIP_COSTS.control_penalty(jump) == 1
+
+    def test_filled_slot_is_free(self):
+        jump = Instruction(Opcode.JUMPREG, rs1="t", slot_filled=True)
+        assert OFF_CHIP_COSTS.control_penalty(jump) == 0
+
+    def test_non_control_has_no_penalty(self):
+        assert OFF_CHIP_COSTS.control_penalty(niload()) == 0
+
+    def test_all_transfer_kinds_penalised(self):
+        for opcode in (Opcode.BRANCH, Opcode.BRANCHBIT, Opcode.BRANCHCOND):
+            instr = Instruction(opcode, rs1="t", target="x")
+            assert ON_CHIP_COSTS.control_penalty(instr) == 1
+
+
+class TestLatencySweepFactory:
+    def test_baseline(self):
+        assert off_chip_with_latency(2).ni_load_dead_cycles == 2
+
+    def test_zero_latency_allowed(self):
+        assert off_chip_with_latency(0).load_ready_delay(niload()) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            off_chip_with_latency(-1)
+
+    def test_name_carries_latency(self):
+        assert "8" in off_chip_with_latency(8).name
+
+    def test_cost_model_frozen(self):
+        with pytest.raises(AttributeError):
+            OFF_CHIP_COSTS.ni_load_dead_cycles = 5
+
+    def test_custom_model(self):
+        model = CostModel("x", ni_load_dead_cycles=4, delay_slot_cycles=2)
+        assert model.load_ready_delay(niload()) == 5
+        jump = Instruction(Opcode.JUMPREG, rs1="t")
+        assert model.control_penalty(jump) == 2

@@ -1,0 +1,158 @@
+"""Tests for instruction construction, rendering, and metadata."""
+
+import pytest
+
+from repro.isa.instructions import (
+    AluFn,
+    Cond,
+    Instruction,
+    Opcode,
+    Riders,
+    Sequence,
+)
+from repro.nic.interface import SendMode
+
+
+class TestRiders:
+    def test_none(self):
+        assert not Riders().any
+
+    def test_send_only(self):
+        riders = Riders(send_mode=SendMode.NORMAL, send_type=5)
+        assert riders.any
+        assert riders.describe() == "SEND type=5"
+
+    def test_reply_mode_described(self):
+        riders = Riders(send_mode=SendMode.REPLY, send_type=0)
+        assert "SEND-reply" in riders.describe()
+
+    def test_forward_mode_described(self):
+        riders = Riders(send_mode=SendMode.FORWARD, send_type=0)
+        assert "SEND-forward" in riders.describe()
+
+    def test_next_only(self):
+        assert Riders(do_next=True).describe() == "NEXT"
+
+    def test_both(self):
+        riders = Riders(send_mode=SendMode.NORMAL, send_type=2, do_next=True)
+        assert "SEND" in riders.describe() and "NEXT" in riders.describe()
+
+
+class TestSourceRegisters:
+    def test_alu_sources(self):
+        instr = Instruction(Opcode.ALU, rd="a", rs1="v", rs2="t", fn=AluFn.ADD)
+        assert instr.source_registers() == ("v", "t")
+
+    def test_load_source_is_base(self):
+        instr = Instruction(Opcode.LOAD, rd="a", rs1="p", imm=4)
+        assert instr.source_registers() == ("p",)
+
+    def test_store_sources(self):
+        instr = Instruction(Opcode.STORE, rs1="p", rs2="v")
+        assert instr.source_registers() == ("p", "v")
+
+    def test_niload_has_no_register_sources(self):
+        instr = Instruction(Opcode.NILOAD, rd="a", ni_register="i0")
+        assert instr.source_registers() == ()
+
+    def test_nistore_source_is_value(self):
+        instr = Instruction(Opcode.NISTORE, rs2="v", ni_register="o0")
+        assert instr.source_registers() == ("v",)
+
+    def test_jump_source(self):
+        instr = Instruction(Opcode.JUMPREG, rs1="t")
+        assert instr.source_registers() == ("t",)
+
+    def test_branchcond_source(self):
+        instr = Instruction(Opcode.BRANCHCOND, rs1="n", imm=5, cond=Cond.LT, target="x")
+        assert instr.source_registers() == ("n",)
+
+
+class TestControlClassification:
+    @pytest.mark.parametrize(
+        "opcode",
+        [Opcode.JUMPREG, Opcode.BRANCH, Opcode.BRANCHBIT, Opcode.BRANCHCOND],
+    )
+    def test_control_opcodes(self, opcode):
+        assert Instruction(opcode, rs1="t", target="x").is_control
+
+    @pytest.mark.parametrize(
+        "opcode", [Opcode.ALU, Opcode.LOAD, Opcode.NILOAD, Opcode.NOP]
+    )
+    def test_non_control_opcodes(self, opcode):
+        assert not Instruction(opcode, rd="a", rs1="v", rs2="t", fn=AluFn.ADD).is_control
+
+
+class TestRendering:
+    def test_alu(self):
+        text = Instruction(Opcode.ALU, rd="a", rs1="v", rs2="t", fn=AluFn.ADD).render()
+        assert "add" in text and "a, v, t" in text
+
+    def test_riders_shown(self):
+        instr = Instruction(
+            Opcode.ALU,
+            rd="o1",
+            rs1="i1",
+            rs2="i2",
+            fn=AluFn.ADD,
+            riders=Riders(send_mode=SendMode.NORMAL, send_type=5, do_next=True),
+        )
+        text = instr.render()
+        # The paper's flagship: add o1 i1 i2, SEND type=5, NEXT.
+        assert "SEND type=5" in text and "NEXT" in text
+
+    def test_label_rendered(self):
+        instr = Instruction(Opcode.NOP, label="loop")
+        assert instr.render().startswith("loop:")
+
+    def test_masked_flag_rendered(self):
+        instr = Instruction(Opcode.NILOAD, rd="t", ni_register="MsgIp", masked=True)
+        assert "latency masked" in instr.render()
+
+    def test_slot_filled_rendered(self):
+        instr = Instruction(Opcode.JUMPREG, rs1="t", slot_filled=True)
+        assert "slot filled" in instr.render()
+
+    def test_note_rendered(self):
+        instr = Instruction(Opcode.NOP, note="padding")
+        assert "padding" in instr.render()
+
+    def test_branch_bit_mnemonics(self):
+        set_branch = Instruction(
+            Opcode.BRANCHBIT, rs1="stat", bit=0, branch_on_set=True, target="x"
+        )
+        clear_branch = Instruction(
+            Opcode.BRANCHBIT, rs1="stat", bit=0, branch_on_set=False, target="x"
+        )
+        assert "bb1" in set_branch.render()
+        assert "bb0" in clear_branch.render()
+
+    @pytest.mark.parametrize(
+        "opcode,kwargs",
+        [
+            (Opcode.ALUI, dict(rd="a", rs1="v", imm=3, fn=AluFn.SHL)),
+            (Opcode.LOADIMM, dict(rd="a", imm=1)),
+            (Opcode.LOAD, dict(rd="a", rs1="p", imm=0)),
+            (Opcode.STORE, dict(rs1="p", rs2="v", imm=4)),
+            (Opcode.NILOAD, dict(rd="a", ni_register="i0")),
+            (Opcode.NISTORE, dict(rs2="v", ni_register="o0")),
+            (Opcode.NICMD, dict()),
+            (Opcode.BRANCH, dict(target="x")),
+            (Opcode.BRANCHCOND, dict(rs1="n", imm=1, cond=Cond.EQ, target="x")),
+            (Opcode.NOP, dict()),
+            (Opcode.HALT, dict()),
+        ],
+    )
+    def test_every_opcode_renders(self, opcode, kwargs):
+        assert Instruction(opcode, **kwargs).render()
+
+
+class TestSequence:
+    def test_listing_has_name_header(self):
+        seq = Sequence("demo", [Instruction(Opcode.NOP)])
+        assert seq.listing().startswith("; demo")
+
+    def test_len_and_iter(self):
+        seq = Sequence("demo", [Instruction(Opcode.NOP)] * 3)
+        assert len(seq) == 3
+        assert len(list(seq)) == 3

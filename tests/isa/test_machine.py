@@ -1,0 +1,444 @@
+"""Tests for the behavioural executor and its cycle accounting."""
+
+import pytest
+
+from repro.errors import AssemblyError, MachineError
+from repro.isa.assembler import SequenceBuilder
+from repro.isa.costs import off_chip_with_latency
+from repro.isa.instructions import AluFn, Cond
+from repro.isa.machine import Machine, Placement
+from repro.nic.interface import NetworkInterface, SendMode
+from repro.nic.messages import Message, pack_destination
+
+
+def machine(placement=Placement.ON_CHIP, **kwargs) -> Machine:
+    return Machine(placement, **kwargs)
+
+
+def deliver(m: Machine, mtype=2, words=(0x10, 0x20, 0x30, 0x40)):
+    m.interface.deliver(Message(mtype, (pack_destination(0),) + tuple(words)))
+
+
+class TestAluAndMoves:
+    def test_add(self):
+        m = machine()
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .loadimm("a", 5)
+            .loadimm("v", 7)
+            .alu(AluFn.ADD, "t", "a", "v")
+            .build()
+        )
+        m.run(seq)
+        assert m.read_reg("t") == 12
+
+    def test_sub_and_logical(self):
+        m = machine()
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .loadimm("a", 0xF0)
+            .loadimm("v", 0x0F)
+            .alu(AluFn.SUB, "t", "a", "v")
+            .alu(AluFn.OR, "p", "a", "v")
+            .alu(AluFn.AND, "n", "a", "v")
+            .alu(AluFn.XOR, "id", "a", "v")
+            .build()
+        )
+        m.run(seq)
+        assert m.read_reg("t") == 0xE1
+        assert m.read_reg("p") == 0xFF
+        assert m.read_reg("n") == 0
+        assert m.read_reg("id") == 0xFF
+
+    def test_shifts(self):
+        m = machine()
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .loadimm("a", 0x10)
+            .alui(AluFn.SHL, "t", "a", 4)
+            .alui(AluFn.SHR, "v", "a", 2)
+            .build()
+        )
+        m.run(seq)
+        assert m.read_reg("t") == 0x100
+        assert m.read_reg("v") == 0x4
+
+    def test_r0_reads_zero_and_ignores_writes(self):
+        m = machine()
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .loadimm("r0", 99)
+            .mov("a", "r0")
+            .build()
+        )
+        m.run(seq)
+        assert m.read_reg("a") == 0
+
+    def test_loadimm_rejects_wide_constant(self):
+        with pytest.raises(AssemblyError):
+            SequenceBuilder("t", Placement.ON_CHIP).loadimm("a", 0x1_0000)
+
+    def test_wraparound_arithmetic(self):
+        m = machine()
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .loadimm("a", 0xFFFF)
+            .alui(AluFn.SHL, "a", "a", 16)
+            .alui(AluFn.ADD, "a", "a", 0xFFFF)
+            .alui(AluFn.ADD, "a", "a", 1)
+            .build()
+        )
+        m.run(seq)
+        assert m.read_reg("a") == 0
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self):
+        m = machine()
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .loadimm("a", 0x100)
+            .loadimm("v", 42)
+            .mem_store("v", "a")
+            .mem_load("t", "a")
+            .build()
+        )
+        m.run(seq)
+        assert m.read_reg("t") == 42
+
+    def test_offset_addressing(self):
+        m = machine()
+        m.memory.store(0x104, 7)
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .loadimm("a", 0x100)
+            .mem_load("t", "a", offset=4)
+            .build()
+        )
+        m.run(seq)
+        assert m.read_reg("t") == 7
+
+
+class TestControlFlow:
+    def test_branch_skips(self):
+        m = machine()
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .branch("end")
+            .loadimm("a", 1)
+            .label("end")
+            .loadimm("v", 2)
+            .build()
+        )
+        m.run(seq)
+        assert m.read_reg("a") == 0
+        assert m.read_reg("v") == 2
+
+    def test_branch_bit(self):
+        m = machine()
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .loadimm("a", 0b100)
+            .branch_bit(2, "a", "hit", on_set=True)
+            .loadimm("v", 1)
+            .label("hit")
+            .nop()
+            .build()
+        )
+        m.run(seq)
+        assert m.read_reg("v") == 0
+
+    def test_branch_cond_loop(self):
+        m = machine()
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .loadimm("n", 0)
+            .label("loop")
+            .alui(AluFn.ADD, "n", "n", 1)
+            .branch_cond(Cond.LT, "n", 5, "loop")
+            .build()
+        )
+        m.run(seq)
+        assert m.read_reg("n") == 5
+
+    def test_jump_reg_terminates_with_target(self):
+        m = machine()
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .loadimm("t", 0x4000)
+            .jump_reg("t")
+            .loadimm("a", 1)
+            .build()
+        )
+        result = m.run(seq)
+        assert result.jump_target == 0x4000
+        assert m.read_reg("a") == 0
+
+    def test_jump_reg_resolved_locally(self):
+        m = machine()
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .loadimm("t", 0x4000)
+            .jump_reg("t")
+            .loadimm("a", 1)
+            .label("handler")
+            .loadimm("v", 2)
+            .build()
+        )
+        result = m.run(seq, resolve_jump=lambda addr: 3 if addr == 0x4000 else None)
+        assert result.jump_target is None
+        assert m.read_reg("a") == 0
+        assert m.read_reg("v") == 2
+
+    def test_undefined_label_raises(self):
+        m = machine()
+        seq = SequenceBuilder("t", m.placement).branch("nowhere").build()
+        with pytest.raises(MachineError):
+            m.run(seq)
+
+    def test_runaway_guard(self):
+        m = machine()
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .label("spin")
+            .branch("spin")
+            .build()
+        )
+        with pytest.raises(MachineError):
+            m.run(seq, max_steps=100)
+
+    def test_halt(self):
+        m = machine()
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .halt()
+            .loadimm("a", 1)
+            .build()
+        )
+        result = m.run(seq)
+        assert result.halted
+        assert m.read_reg("a") == 0
+
+
+class TestCycleAccounting:
+    def test_one_cycle_per_instruction(self):
+        m = machine()
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .loadimm("a", 1)
+            .loadimm("v", 2)
+            .alu(AluFn.ADD, "t", "a", "v")
+            .build()
+        )
+        assert m.run(seq).cycles == 3
+
+    def test_unfilled_delay_slot_costs_one(self):
+        m = machine()
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .loadimm("t", 0x4000)
+            .jump_reg("t")
+            .build()
+        )
+        result = m.run(seq)
+        assert result.cycles == 3  # loadimm + jmp + delay slot
+        assert result.delay_slot_cycles == 1
+
+    def test_filled_delay_slot_is_free(self):
+        m = machine()
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .loadimm("t", 0x4000)
+            .jump_reg("t", slot_filled=True)
+            .build()
+        )
+        assert m.run(seq).cycles == 2
+
+    def test_offchip_ni_load_stalls_immediate_use(self):
+        m = machine(Placement.OFF_CHIP)
+        deliver(m, words=(0x100, 0, 0, 0))
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .ni_read("a", "i0")
+            .mem_load("v", "a")
+            .build()
+        )
+        result = m.run(seq)
+        # ld(1) + 2 dead cycles + use(1) = 4.
+        assert result.cycles == 4
+        assert result.stall_cycles == 2
+
+    def test_offchip_stall_partially_coverable(self):
+        m = machine(Placement.OFF_CHIP)
+        deliver(m, words=(0x100, 0x200, 0, 0))
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .ni_read("a", "i0")
+            .ni_read("p", "i1")
+            .mem_load("v", "a")  # a loaded 2 cycles earlier: 1 stall left
+            .build()
+        )
+        result = m.run(seq)
+        assert result.cycles == 4
+        assert result.stall_cycles == 1
+
+    def test_offchip_fully_covered_no_stall(self):
+        m = machine(Placement.OFF_CHIP)
+        deliver(m, words=(0x100, 0x200, 0x300, 0))
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .ni_read("a", "i0")
+            .ni_read("p", "i1")
+            .ni_read("id", "i2")
+            .mem_load("v", "a")
+            .build()
+        )
+        result = m.run(seq)
+        assert result.cycles == 4
+        assert result.stall_cycles == 0
+
+    def test_onchip_ni_load_no_stall(self):
+        m = machine(Placement.ON_CHIP)
+        deliver(m, words=(0x100, 0, 0, 0))
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .ni_read("a", "i0")
+            .mem_load("v", "a")
+            .build()
+        )
+        result = m.run(seq)
+        assert result.cycles == 2
+        assert result.stall_cycles == 0
+
+    def test_masked_load_charges_no_stall(self):
+        m = machine(Placement.OFF_CHIP)
+        deliver(m, words=(0x100, 0, 0, 0))
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .ni_read("a", "i0", masked=True)
+            .mem_load("v", "a")
+            .build()
+        )
+        result = m.run(seq)
+        assert result.cycles == 2
+        assert result.stall_cycles == 0
+
+    def test_latency_sweep_model(self):
+        m = machine(
+            Placement.OFF_CHIP, cost_model=off_chip_with_latency(8)
+        )
+        deliver(m, words=(0x100, 0, 0, 0))
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .ni_read("a", "i0")
+            .mem_load("v", "a")
+            .build()
+        )
+        assert m.run(seq).cycles == 10  # 1 + 8 dead + 1
+
+
+class TestPlacementRules:
+    def test_ni_operand_rejected_in_mm_placement(self):
+        m = machine(Placement.ON_CHIP)
+        seq = SequenceBuilder("t", Placement.REGISTER).mov("a", "i0").build()
+        with pytest.raises(MachineError):
+            m.run(seq)
+
+    def test_niload_rejected_in_register_placement(self):
+        m = machine(Placement.REGISTER)
+        seq = SequenceBuilder("t", Placement.ON_CHIP).ni_read("a", "i0").build()
+        with pytest.raises(MachineError):
+            m.run(seq)
+
+    def test_rider_on_alu_rejected_in_mm_placement(self):
+        m = machine(Placement.ON_CHIP)
+        seq = (
+            SequenceBuilder("t", Placement.REGISTER)
+            .alu(AluFn.ADD, "a", "r0", "r0", do_next=True)
+            .build()
+        )
+        with pytest.raises(MachineError):
+            m.run(seq)
+
+
+class TestNiSemantics:
+    def test_register_placement_direct_ni_operands(self):
+        m = machine(Placement.REGISTER)
+        deliver(m, words=(3, 4, 0, 0))
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .alu(AluFn.ADD, "o1", "i1", "i2", send_mode=SendMode.NORMAL, send_type=5)
+            .build()
+        )
+        result = m.run(seq)
+        assert result.cycles == 1
+        sent = m.interface.transmit()
+        assert sent.mtype == 5
+        assert sent.words[1] == 7
+
+    def test_mm_store_with_send_rider(self):
+        m = machine(Placement.ON_CHIP)
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .loadimm("v", 9)
+            .ni_write("o1", "v", send_mode=SendMode.NORMAL, send_type=4)
+            .build()
+        )
+        result = m.run(seq)
+        assert result.cycles == 2
+        assert len(result.send_results) == 1
+        assert m.interface.transmit().words[1] == 9
+
+    def test_mm_load_with_next_rider(self):
+        m = machine(Placement.ON_CHIP)
+        deliver(m, words=(5, 0, 0, 0))
+        deliver(m, words=(6, 0, 0, 0))
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .ni_read("a", "i1", do_next=True)
+            .ni_read("v", "i1")
+            .build()
+        )
+        m.run(seq)
+        assert m.read_reg("a") == 5  # pre-command read
+        assert m.read_reg("v") == 6  # after NEXT
+
+    def test_register_placement_rider_next(self):
+        m = machine(Placement.REGISTER)
+        deliver(m, words=(5, 0, 0, 0))
+        deliver(m, words=(6, 0, 0, 0))
+        seq = (
+            SequenceBuilder("t", m.placement)
+            .mov("a", "i1", do_next=True)
+            .mov("v", "i1")
+            .build()
+        )
+        m.run(seq)
+        assert m.read_reg("a") == 5
+        assert m.read_reg("v") == 6
+
+    def test_ni_command_costs_one_cycle_everywhere(self):
+        for placement in Placement:
+            m = machine(placement)
+            seq = (
+                SequenceBuilder("t", placement)
+                .ni_command(send_mode=SendMode.NORMAL, send_type=2)
+                .build()
+            )
+            assert m.run(seq).cycles == 1, placement
+            assert m.interface.output_queue.depth == 1
+
+    def test_jump_msgip_register_placement(self):
+        m = machine(Placement.REGISTER)
+        m.interface.ip_base = 0x8000
+        deliver(m, mtype=5)
+        seq = SequenceBuilder("t", m.placement).jump_reg("MsgIp", slot_filled=True).build()
+        result = m.run(seq)
+        assert result.cycles == 1
+        assert (result.jump_target >> 6) & 0xF == 5
+
+    def test_trace_records_lines(self):
+        m = machine(trace=True)
+        seq = SequenceBuilder("t", m.placement).loadimm("a", 1).build()
+        result = m.run(seq)
+        assert len(result.trace) == 1

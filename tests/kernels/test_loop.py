@@ -1,0 +1,124 @@
+"""Tests for the composed service loop: Table 1 phases compose exactly."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.impls.base import ALL_MODELS, OPTIMIZED_ON_CHIP, OPTIMIZED_REGISTER
+from repro.kernels.harness import measure_dispatch, measure_processing
+from repro.kernels.loop import build_service_loop, measure_stream
+
+STREAM = ["read", "write", "send1", "read", "write"]
+
+
+def expected_cycles(model, stream):
+    idle_tail = measure_stream(model, []).cycles
+    return (
+        sum(
+            measure_dispatch(model).cycles + measure_processing(name, model).cycles
+            for name in stream
+        )
+        + idle_tail
+    )
+
+
+class TestComposition:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.key)
+    def test_loop_equals_sum_of_table1_phases(self, model):
+        """The central consistency check: dispatch and processing compose
+        with zero interaction slack under every model."""
+        measurement = measure_stream(model, STREAM)
+        assert measurement.handled == len(STREAM)
+        assert measurement.cycles == expected_cycles(model, STREAM)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.key)
+    def test_empty_stream_just_polls(self, model):
+        measurement = measure_stream(model, [])
+        assert measurement.handled == 0
+        # The idle poll is a handful of cycles, not a runaway loop.
+        assert 1 <= measurement.cycles <= 10
+
+    def test_two_instruction_steady_state(self):
+        """At steady state the optimized register model spends two
+        instructions per remote read — the paper's headline, in a loop."""
+        reads = ["read"] * 10
+        measurement = measure_stream(OPTIMIZED_REGISTER, reads)
+        idle = measure_stream(OPTIMIZED_REGISTER, []).cycles
+        assert (measurement.cycles - idle) / len(reads) == 2.0
+
+    def test_homogeneous_write_stream(self):
+        measurement = measure_stream(OPTIMIZED_ON_CHIP, ["write"] * 8)
+        idle = measure_stream(OPTIMIZED_ON_CHIP, []).cycles
+        per_message = (measurement.cycles - idle) / 8
+        assert per_message == (
+            measure_dispatch(OPTIMIZED_ON_CHIP).cycles
+            + measure_processing("write", OPTIMIZED_ON_CHIP).cycles
+        )
+
+    def test_ordering_preserved_under_load(self):
+        # All models handle the same stream; relative speed matches Table 1.
+        totals = {
+            model.key: measure_stream(model, STREAM).cycles for model in ALL_MODELS
+        }
+        assert totals["optimized-register"] < totals["optimized-onchip"]
+        assert totals["optimized-onchip"] < totals["optimized-offchip"]
+        assert totals["basic-register"] < totals["basic-onchip"]
+        assert totals["optimized-offchip"] < totals["basic-offchip"]
+
+
+class TestGuards:
+    def test_two_send_handlers_rejected(self):
+        with pytest.raises(EvaluationError):
+            build_service_loop(OPTIMIZED_REGISTER, ("send0", "send1"))
+
+    def test_labelled_handlers_rejected(self):
+        with pytest.raises(EvaluationError):
+            build_service_loop(OPTIMIZED_REGISTER, ("pread_full",))
+
+    def test_stream_length_capped(self):
+        with pytest.raises(EvaluationError):
+            measure_stream(OPTIMIZED_REGISTER, ["write"] * 61)
+
+    def test_unknown_stream_message(self):
+        with pytest.raises(EvaluationError):
+            measure_stream(OPTIMIZED_REGISTER, ["teleport"])
+
+
+class TestFunctionalEffects:
+    def test_replies_and_writes_happen(self):
+        from repro.kernels.harness import ADDR_LOCAL, MEMORY_WORD, VALUE_A, _fresh_machine
+        from repro.kernels.loop import build_service_loop
+
+        # measure_stream hides the machine; re-run at a lower level to
+        # inspect effects.
+        model = OPTIMIZED_ON_CHIP
+        loop = build_service_loop(model)
+        machine = _fresh_machine(model)
+        machine.memory.store(ADDR_LOCAL, MEMORY_WORD)
+        from repro.kernels.harness import _deliver_processing_message
+
+        _deliver_processing_message(machine, "read", False)
+        _deliver_processing_message(machine, "write", False)
+        machine.run(loop.sequence, resolve_jump=loop.resolve_jump)
+        # One reply (from the read), and the write landed.
+        reply = machine.interface.transmit()
+        assert reply is not None and reply.word(2) == MEMORY_WORD
+        assert machine.interface.transmit() is None
+        assert machine.memory.load(ADDR_LOCAL) == VALUE_A  # write overwrote
+
+
+class TestBoundaryConditionVersions:
+    """Long streams trip iafull mid-run; dispatch still lands correctly."""
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.key)
+    def test_long_stream_crosses_thresholds(self, model):
+        stream = ["read", "write", "send1"] * 14  # 42 > iq_threshold of 12
+        measurement = measure_stream(model, stream)
+        assert measurement.handled == len(stream)
+        assert measurement.cycles == expected_cycles(model, stream)
+
+    def test_type0_boundary_fallback(self):
+        # A pure type-0 stream deep enough to trip iafull: the hardware
+        # abandons the IP-in-message fast path and dispatches through the
+        # table's slot-0 boundary versions (Figure 7 case 1).
+        measurement = measure_stream(OPTIMIZED_ON_CHIP, ["send1"] * 40)
+        assert measurement.handled == 40

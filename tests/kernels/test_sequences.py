@@ -1,0 +1,87 @@
+"""Tests for kernel construction, listings, and error handling."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.impls.base import (
+    ALL_MODELS,
+    BASIC_ON_CHIP,
+    OPTIMIZED_OFF_CHIP,
+    OPTIMIZED_REGISTER,
+)
+from repro.kernels.sequences import (
+    PROCESSING_CASES,
+    SENDING_MESSAGES,
+    dispatch_kernel,
+    processing_kernel,
+    sending_kernel,
+)
+
+
+class TestKernelConstruction:
+    @pytest.mark.parametrize("message", SENDING_MESSAGES)
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.key)
+    def test_sending_builds(self, message, model):
+        kernel = sending_kernel(message, model)
+        assert len(kernel.sequence) >= 0
+        assert model.key in kernel.name
+
+    @pytest.mark.parametrize("case", PROCESSING_CASES)
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.key)
+    def test_processing_builds(self, case, model):
+        kernel = processing_kernel(case, model)
+        assert len(kernel.sequence) > 0
+
+    def test_unknown_sending_message(self):
+        with pytest.raises(EvaluationError):
+            sending_kernel("nope", OPTIMIZED_REGISTER)
+
+    def test_unknown_processing_case(self):
+        with pytest.raises(EvaluationError):
+            processing_kernel("nope", OPTIMIZED_REGISTER)
+
+    def test_unknown_variant(self):
+        with pytest.raises(EvaluationError):
+            sending_kernel("send0", OPTIMIZED_REGISTER, variant="median")
+
+    def test_best_variant_only_differs_for_register(self):
+        # Memory-mapped placements have one schedule regardless of variant.
+        a = sending_kernel("send2", BASIC_ON_CHIP, "best").sequence
+        b = sending_kernel("send2", BASIC_ON_CHIP, "worst").sequence
+        assert len(a) == len(b)
+
+    def test_best_variant_shorter_for_register(self):
+        best = sending_kernel("send2", OPTIMIZED_REGISTER, "best")
+        worst = sending_kernel("send2", OPTIMIZED_REGISTER, "worst")
+        assert len(best.sequence) < len(worst.sequence)
+        assert best.preload_outputs  # the harness supplies the in-place values
+
+
+class TestListings:
+    def test_listing_contains_riders(self):
+        kernel = processing_kernel("read", OPTIMIZED_REGISTER)
+        listing = kernel.sequence.listing()
+        assert "SEND-reply" in listing
+        assert "NEXT" in listing
+
+    def test_listing_shows_masking(self):
+        kernel = dispatch_kernel(OPTIMIZED_OFF_CHIP)
+        listing = kernel.sequence.listing()
+        assert "latency masked" in listing
+        assert "slot filled" in listing
+
+    def test_listing_has_labels(self):
+        kernel = processing_kernel("pread_full", OPTIMIZED_REGISTER)
+        assert "defer:" in kernel.sequence.listing()
+
+    def test_flagship_register_read_is_one_line(self):
+        kernel = processing_kernel("read", OPTIMIZED_REGISTER)
+        assert len(kernel.sequence) == 1
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.key)
+    def test_every_kernel_renders(self, model):
+        for message in SENDING_MESSAGES:
+            assert sending_kernel(message, model).sequence.listing()
+        for case in PROCESSING_CASES:
+            assert processing_kernel(case, model).sequence.listing()
+        assert dispatch_kernel(model).sequence.listing()

@@ -1,0 +1,220 @@
+"""Table 1 reproduction tests: exact rows, structural rows, orderings.
+
+Every measurement here also *functionally verifies* the kernel (the
+harness checks the transmitted words, memory effects, and I-structure
+transitions and raises on any mismatch), so these tests cover semantics
+and timing together.
+"""
+
+import pytest
+
+from repro.impls.base import (
+    ALL_MODELS,
+    BASIC_OFF_CHIP,
+    BASIC_ON_CHIP,
+    BASIC_REGISTER,
+    OPTIMIZED_OFF_CHIP,
+    OPTIMIZED_ON_CHIP,
+    OPTIMIZED_REGISTER,
+)
+from repro.isa.machine import Placement
+from repro.kernels import expected as X
+from repro.kernels.harness import (
+    measure_dispatch,
+    measure_processing,
+    measure_pwrite_deferred_line,
+    measure_sending,
+)
+from repro.kernels.sequences import PROCESSING_CASES, SENDING_MESSAGES
+
+ARCH_TRIPLES = {
+    "optimized": (OPTIMIZED_REGISTER, OPTIMIZED_ON_CHIP, OPTIMIZED_OFF_CHIP),
+    "basic": (BASIC_REGISTER, BASIC_ON_CHIP, BASIC_OFF_CHIP),
+}
+
+
+def sending_cell(message, model):
+    if model.placement is Placement.REGISTER:
+        lo = measure_sending(message, model, "best").cycles
+        hi = measure_sending(message, model, "worst").cycles
+        return (lo, hi) if lo != hi else lo
+    return measure_sending(message, model).cycles
+
+
+class TestSendingExact:
+    @pytest.mark.parametrize("message", SENDING_MESSAGES)
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.key)
+    def test_matches_paper(self, message, model):
+        assert sending_cell(message, model) == X.SENDING_PAPER[message][model.key]
+
+    def test_mm_columns_equal(self):
+        # Sending is all stores: the off-chip latency never bites, so the
+        # paper's on-chip and off-chip SENDING columns are identical.
+        for message in SENDING_MESSAGES:
+            for arch in ("optimized", "basic"):
+                _, on, off = ARCH_TRIPLES[arch]
+                assert sending_cell(message, on) == sending_cell(message, off)
+
+
+class TestDispatchExact:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.key)
+    def test_matches_paper(self, model):
+        assert measure_dispatch(model).cycles == X.DISPATCH_PAPER[model.key]
+
+    def test_hardware_dispatch_beats_software_everywhere(self):
+        # "Even the slowest optimized implementation is better than the
+        # fastest unoptimized implementation" holds for dispatch alone.
+        slowest_optimized = max(
+            measure_dispatch(m).cycles for m in ALL_MODELS if m.optimized
+        )
+        fastest_basic = min(
+            measure_dispatch(m).cycles for m in ALL_MODELS if not m.optimized
+        )
+        assert slowest_optimized < fastest_basic
+
+
+class TestProcessingExactRows:
+    @pytest.mark.parametrize("case", ["send0", "send1", "send2", "read"])
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.key)
+    def test_matches_paper(self, case, model):
+        assert (
+            measure_processing(case, model).cycles
+            == X.PROCESSING_PAPER[case][model.key]
+        )
+
+    def test_remote_read_two_instructions_total(self):
+        # The headline claim: dispatch + process + reply to a remote read
+        # in a total of two RISC instructions on the register model.
+        dispatch = measure_dispatch(OPTIMIZED_REGISTER)
+        processing = measure_processing("read", OPTIMIZED_REGISTER)
+        assert dispatch.instructions + processing.instructions == 2
+        assert dispatch.cycles + processing.cycles == 2
+
+
+class TestProcessingWrite:
+    def test_register_and_onchip_exact(self):
+        for model in (
+            OPTIMIZED_REGISTER,
+            OPTIMIZED_ON_CHIP,
+            BASIC_REGISTER,
+            BASIC_ON_CHIP,
+        ):
+            assert (
+                measure_processing("write", model).cycles
+                == X.PROCESSING_PAPER["write"][model.key]
+            )
+
+    def test_offchip_within_one_cycle_of_paper(self):
+        # The paper's 4 implies late store-data consumption; our model
+        # charges the conservative 5.  Documented in EXPERIMENTS.md.
+        for model in (OPTIMIZED_OFF_CHIP, BASIC_OFF_CHIP):
+            measured = measure_processing("write", model).cycles
+            paper = X.PROCESSING_PAPER["write"][model.key]
+            assert paper <= measured <= paper + 1
+
+
+class TestPresenceBitStructure:
+    """The structural facts the paper's argument rests on, for P-ops."""
+
+    def test_pread_full_basic_minus_optimized_deltas_match_paper(self):
+        for placement in ("register", "onchip", "offchip"):
+            basic = measure_processing(
+                "pread_full", ARCH_TRIPLES["basic"][_pidx(placement)]
+            ).cycles
+            optimized = measure_processing(
+                "pread_full", ARCH_TRIPLES["optimized"][_pidx(placement)]
+            ).cycles
+            paper_delta = (
+                X.PROCESSING_PAPER["pread_full"][f"basic-{placement}"]
+                - X.PROCESSING_PAPER["pread_full"][f"optimized-{placement}"]
+            )
+            assert basic - optimized == paper_delta
+
+    def test_pread_defer_paths_identical_across_architectures(self):
+        # No reply is sent when deferring, so basic == optimized (paper
+        # shows the same equality in its empty/deferred rows).
+        for placement_index in range(3):
+            basic = ARCH_TRIPLES["basic"][placement_index]
+            optimized = ARCH_TRIPLES["optimized"][placement_index]
+            for case in ("pread_empty", "pread_deferred"):
+                b = measure_processing(case, basic).cycles
+                o = measure_processing(case, optimized).cycles
+                assert abs(b - o) <= 1, (case, basic.key, b, o)
+
+    def test_pwrite_empty_equal_across_architectures(self):
+        for placement_index in range(3):
+            basic = ARCH_TRIPLES["basic"][placement_index]
+            optimized = ARCH_TRIPLES["optimized"][placement_index]
+            assert (
+                measure_processing("pwrite_empty", basic).cycles
+                == measure_processing("pwrite_empty", optimized).cycles
+            )
+
+    def test_pwrite_onchip_equals_offchip(self):
+        # The paper's PWrite columns are equal on-chip vs off-chip.
+        for arch in ("optimized", "basic"):
+            _, on, off = ARCH_TRIPLES[arch]
+            assert (
+                measure_processing("pwrite_empty", on).cycles
+                == measure_processing("pwrite_empty", off).cycles
+            )
+
+    def test_pwrite_deferred_slopes_match_paper(self):
+        for model in ALL_MODELS:
+            _, slope = measure_pwrite_deferred_line(model)
+            assert slope == X.PWRITE_DEFERRED_PAPER[model.key][1]
+
+    def test_pwrite_deferred_forward_mode_saves_value_copy(self):
+        opt_base, _ = measure_pwrite_deferred_line(OPTIMIZED_REGISTER)
+        bas_base, _ = measure_pwrite_deferred_line(BASIC_REGISTER)
+        assert bas_base > opt_base
+
+    def test_pwrite_many_readers(self):
+        # The loop really satisfies each deferred reader (functional check
+        # inside the harness) and stays affine far beyond the fit range.
+        base, slope = measure_pwrite_deferred_line(
+            OPTIMIZED_ON_CHIP, counts=(1, 4, 9)
+        )
+        assert slope == 8
+        cycles = measure_processing(
+            "pwrite_deferred", OPTIMIZED_ON_CHIP, deferred_readers=12
+        ).cycles
+        assert cycles == base + slope * 12
+
+
+def _pidx(placement: str) -> int:
+    return {"register": 0, "onchip": 1, "offchip": 2}[placement]
+
+
+class TestGlobalOrderings:
+    """Cross-cutting orderings Table 1 demonstrates."""
+
+    @pytest.mark.parametrize(
+        "case", [c for c in PROCESSING_CASES if c != "pwrite_deferred"]
+    )
+    def test_optimized_never_worse(self, case):
+        for placement_index in range(3):
+            optimized = ARCH_TRIPLES["optimized"][placement_index]
+            basic = ARCH_TRIPLES["basic"][placement_index]
+            assert (
+                measure_processing(case, optimized).cycles
+                <= measure_processing(case, basic).cycles
+            )
+
+    @pytest.mark.parametrize(
+        "case", [c for c in PROCESSING_CASES if c != "pwrite_deferred"]
+    )
+    def test_register_fastest_offchip_slowest(self, case):
+        for arch in ("optimized", "basic"):
+            reg, on, off = ARCH_TRIPLES[arch]
+            r = measure_processing(case, reg).cycles
+            o = measure_processing(case, on).cycles
+            f = measure_processing(case, off).cycles
+            assert r <= o <= f
+
+    @pytest.mark.parametrize("message", SENDING_MESSAGES)
+    def test_sending_register_worst_at_most_mm(self, message):
+        for arch in ("optimized", "basic"):
+            reg, on, _ = ARCH_TRIPLES[arch]
+            worst = measure_sending(message, reg, "worst").cycles
+            assert worst <= measure_sending(message, on).cycles

@@ -1,0 +1,127 @@
+"""Tests for topologies and deterministic routing."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.network.topology import Hypercube, Mesh2D, Torus2D
+
+
+def to_networkx(topology):
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(topology.n_nodes))
+    graph.add_edges_from(topology.links())
+    return graph
+
+
+class TestMesh2D:
+    def test_node_count(self):
+        assert Mesh2D(4, 3).n_nodes == 12
+
+    def test_coordinates_roundtrip(self):
+        mesh = Mesh2D(5, 4)
+        for node in range(mesh.n_nodes):
+            x, y = mesh.coordinates(node)
+            assert mesh.node_at(x, y) == node
+
+    def test_corner_has_two_neighbors(self):
+        assert len(Mesh2D(3, 3).neighbors(0)) == 2
+
+    def test_center_has_four_neighbors(self):
+        assert len(Mesh2D(3, 3).neighbors(4)) == 4
+
+    def test_dimension_order_route(self):
+        mesh = Mesh2D(4, 4)
+        # X first, then Y.
+        assert mesh.route(0, 10) == [0, 1, 2, 6, 10]
+
+    def test_distance_is_manhattan(self):
+        mesh = Mesh2D(5, 5)
+        assert mesh.distance(0, 24) == 8
+
+    def test_route_to_self(self):
+        assert Mesh2D(2, 2).route(3, 3) == [3]
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(RoutingError):
+            Mesh2D(0, 3)
+
+    def test_out_of_range_node(self):
+        with pytest.raises(RoutingError):
+            Mesh2D(2, 2).route(0, 9)
+
+    def test_next_hop_at_destination_rejected(self):
+        with pytest.raises(RoutingError):
+            Mesh2D(2, 2).next_hop(1, 1)
+
+    @given(
+        src=st.integers(min_value=0, max_value=15),
+        dst=st.integers(min_value=0, max_value=15),
+    )
+    def test_route_matches_shortest_path_length(self, src, dst):
+        mesh = Mesh2D(4, 4)
+        graph = to_networkx(mesh)
+        expected = nx.shortest_path_length(graph, src, dst)
+        assert mesh.distance(src, dst) == expected
+
+    def test_links_are_bidirectional(self):
+        mesh = Mesh2D(3, 3)
+        links = set(mesh.links())
+        assert all((b, a) in links for a, b in links)
+
+
+class TestTorus2D:
+    def test_all_nodes_have_degree_four(self):
+        torus = Torus2D(4, 4)
+        for node in range(torus.n_nodes):
+            assert len(torus.neighbors(node)) == 4
+
+    def test_wraparound_shortens_route(self):
+        torus = Torus2D(8, 1)
+        # 0 -> 7 is one wraparound hop, not seven mesh hops.
+        assert torus.distance(0, 7) == 1
+
+    @given(
+        src=st.integers(min_value=0, max_value=15),
+        dst=st.integers(min_value=0, max_value=15),
+    )
+    def test_route_minimal(self, src, dst):
+        torus = Torus2D(4, 4)
+        graph = to_networkx(torus)
+        assert torus.distance(src, dst) == nx.shortest_path_length(graph, src, dst)
+
+    def test_small_torus_degenerate(self):
+        torus = Torus2D(2, 2)
+        assert torus.distance(0, 3) == 2
+
+
+class TestHypercube:
+    def test_node_count(self):
+        assert Hypercube(4).n_nodes == 16
+
+    def test_neighbors_are_bit_flips(self):
+        cube = Hypercube(3)
+        assert set(cube.neighbors(0b101)) == {0b100, 0b111, 0b001}
+
+    def test_distance_is_hamming(self):
+        cube = Hypercube(4)
+        assert cube.distance(0b0000, 0b1111) == 4
+        assert cube.distance(0b1010, 0b1010) == 0
+
+    def test_route_flips_lowest_bit_first(self):
+        cube = Hypercube(3)
+        assert cube.route(0b000, 0b101) == [0b000, 0b001, 0b101]
+
+    @given(
+        src=st.integers(min_value=0, max_value=31),
+        dst=st.integers(min_value=0, max_value=31),
+    )
+    def test_route_minimal(self, src, dst):
+        cube = Hypercube(5)
+        assert cube.distance(src, dst) == bin(src ^ dst).count("1")
+
+    def test_dimension_bounds(self):
+        with pytest.raises(RoutingError):
+            Hypercube(17)

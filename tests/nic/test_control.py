@@ -1,0 +1,124 @@
+"""Tests for the STATUS / CONTROL register layouts."""
+
+import pytest
+
+from repro.nic.control import (
+    CONTROL_LAYOUT,
+    EXCEPTION_FIELDS,
+    STATUS_LAYOUT,
+    ControlRegister,
+    SendFullPolicy,
+    StatusRegister,
+)
+
+
+class TestStatusRegister:
+    def test_initially_clear(self):
+        status = StatusRegister()
+        assert status.word == 0
+        assert not status.has_exception
+
+    def test_raise_exception_sets_summary(self):
+        status = StatusRegister()
+        status.raise_exception("exc_input_error")
+        assert status["exc_input_error"] == 1
+        assert status["exc_any"] == 1
+        assert status.has_exception
+
+    def test_pending_exceptions(self):
+        status = StatusRegister()
+        status.raise_exception("exc_pin_mismatch")
+        status.raise_exception("exc_output_overflow")
+        assert set(status.pending_exceptions()) == {
+            "exc_pin_mismatch",
+            "exc_output_overflow",
+        }
+
+    def test_clear_exceptions(self):
+        status = StatusRegister()
+        for name in EXCEPTION_FIELDS:
+            status.raise_exception(name)
+        status.clear_exceptions()
+        assert not status.has_exception
+        assert status.pending_exceptions() == ()
+
+    def test_clear_preserves_other_fields(self):
+        status = StatusRegister()
+        status["msg_valid"] = 1
+        status["iq_len"] = 7
+        status.raise_exception("exc_input_error")
+        status.clear_exceptions()
+        assert status["msg_valid"] == 1
+        assert status["iq_len"] == 7
+
+    def test_queue_length_fields_hold_31(self):
+        status = StatusRegister()
+        status["iq_len"] = 31
+        status["oq_len"] = 31
+        assert status["iq_len"] == 31
+
+    def test_layout_has_no_overlap_with_type_field(self):
+        # msg_type must be readable independently of msg_valid.
+        status = StatusRegister()
+        status["msg_type"] = 0xF
+        assert status["msg_valid"] == 0
+
+
+class TestControlRegister:
+    def test_default_policy_is_stall(self):
+        assert ControlRegister().full_policy is SendFullPolicy.STALL
+
+    def test_policy_roundtrip(self):
+        control = ControlRegister()
+        control.full_policy = SendFullPolicy.EXCEPTION
+        assert control.full_policy is SendFullPolicy.EXCEPTION
+        assert control["full_policy"] == 1
+
+    def test_thresholds_default(self):
+        control = ControlRegister()
+        assert control["iq_threshold"] == 12
+        assert control["oq_threshold"] == 12
+
+    def test_custom_thresholds(self):
+        control = ControlRegister(iq_threshold=3, oq_threshold=5)
+        assert control["iq_threshold"] == 3
+        assert control["oq_threshold"] == 5
+
+    def test_pin_checking(self):
+        control = ControlRegister()
+        assert not control.pin_checking
+        control.enable_pin_checking(42)
+        assert control.pin_checking
+        assert control["active_pin"] == 42
+        control.disable_pin_checking()
+        assert not control.pin_checking
+
+    def test_pin_field_is_8_bits(self):
+        control = ControlRegister()
+        control.enable_pin_checking(255)
+        assert control["active_pin"] == 255
+
+
+class TestLayouts:
+    def test_status_and_control_fit_one_word(self):
+        assert STATUS_LAYOUT.used_mask <= 0xFFFF_FFFF
+        assert CONTROL_LAYOUT.used_mask <= 0xFFFF_FFFF
+
+    def test_exception_fields_exist_in_status(self):
+        for name in EXCEPTION_FIELDS:
+            assert name in STATUS_LAYOUT
+
+    def test_status_has_paper_fields(self):
+        # Section 2.1: "one field in the STATUS register reports the number
+        # of messages in the input queue"; 2.2.1: the type shows up in STATUS.
+        for name in ("iq_len", "oq_len", "msg_valid", "msg_type"):
+            assert name in STATUS_LAYOUT
+
+    def test_control_has_paper_fields(self):
+        # Section 2.1.1 (full policy), 2.2.4 (thresholds), 2.1.3 (PIN).
+        for name in ("full_policy", "iq_threshold", "oq_threshold", "active_pin"):
+            assert name in CONTROL_LAYOUT
+
+    def test_policy_enum_values(self):
+        assert int(SendFullPolicy.STALL) == 0
+        assert int(SendFullPolicy.EXCEPTION) == 1

@@ -1,0 +1,151 @@
+"""Tests for the MsgIp / NextMsgIp hardware dispatch (paper Figure 7)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nic.dispatch import (
+    HANDLER_ID_EXCEPTION,
+    HANDLER_ID_NO_MESSAGE,
+    HANDLER_REGION_BYTES,
+    HANDLER_SLOT_BYTES,
+    TABLE_BYTES,
+    DispatchConditions,
+    DispatchUnit,
+    compute_msg_ip,
+    decode_table_address,
+    handler_table_address,
+)
+from repro.nic.messages import Message
+
+IP_BASE = 0x0004_0000
+
+
+def msg(mtype: int, word1: int = 0xDEAD_BEE0) -> Message:
+    return Message(mtype, (0, word1, 0, 0, 0))
+
+
+class TestHandlerTableAddress:
+    def test_base_bits_preserved(self):
+        addr = handler_table_address(IP_BASE, 5)
+        assert addr & ~(TABLE_BYTES - 1) == IP_BASE
+
+    def test_handler_id_encoded(self):
+        addr = handler_table_address(IP_BASE, 7)
+        handler_id, iafull, oafull = decode_table_address(addr)
+        assert handler_id == 7
+        assert not iafull and not oafull
+
+    def test_condition_bits_encoded(self):
+        addr = handler_table_address(IP_BASE, 3, iafull=True, oafull=True)
+        assert decode_table_address(addr) == (3, True, True)
+
+    def test_versions_are_slot_spaced(self):
+        plain = handler_table_address(IP_BASE, 3)
+        ia = handler_table_address(IP_BASE, 3, iafull=True)
+        oa = handler_table_address(IP_BASE, 3, oafull=True)
+        assert ia - plain == HANDLER_SLOT_BYTES
+        assert oa - plain == 2 * HANDLER_SLOT_BYTES
+
+    def test_types_are_region_spaced(self):
+        assert (
+            handler_table_address(IP_BASE, 4) - handler_table_address(IP_BASE, 3)
+            == HANDLER_REGION_BYTES
+        )
+
+    def test_handler_id_range(self):
+        with pytest.raises(ValueError):
+            handler_table_address(IP_BASE, 16)
+
+    def test_dirty_base_low_bits_replaced(self):
+        addr = handler_table_address(IP_BASE | 0x3FF, 0)
+        assert decode_table_address(addr) == (0, False, False)
+
+    @given(
+        handler=st.integers(min_value=0, max_value=15),
+        iafull=st.booleans(),
+        oafull=st.booleans(),
+    )
+    def test_decode_roundtrip(self, handler, iafull, oafull):
+        addr = handler_table_address(IP_BASE, handler, iafull, oafull)
+        assert decode_table_address(addr) == (handler, iafull, oafull)
+
+
+class TestComputeMsgIp:
+    def test_case1_typical(self):
+        # Ordinary typed message, no conditions: table lookup on the type.
+        ip = compute_msg_ip(IP_BASE, msg(5), DispatchConditions())
+        assert decode_table_address(ip) == (5, False, False)
+
+    def test_case2_type0_uses_word1(self):
+        # Figure 7 case 2: type 0, no boundary conditions.
+        ip = compute_msg_ip(IP_BASE, msg(0, word1=0x1234_5678), DispatchConditions())
+        assert ip == 0x1234_5678
+
+    def test_type0_with_iafull_falls_back_to_table(self):
+        conditions = DispatchConditions(iafull=True)
+        ip = compute_msg_ip(IP_BASE, msg(0), conditions)
+        assert decode_table_address(ip) == (0, True, False)
+
+    def test_type0_with_oafull_falls_back_to_table(self):
+        conditions = DispatchConditions(oafull=True)
+        ip = compute_msg_ip(IP_BASE, msg(0), conditions)
+        assert decode_table_address(ip) == (0, False, True)
+
+    def test_no_message_gives_idle_handler(self):
+        ip = compute_msg_ip(IP_BASE, None, DispatchConditions())
+        assert decode_table_address(ip)[0] == HANDLER_ID_NO_MESSAGE
+
+    def test_exception_wins_over_message(self):
+        conditions = DispatchConditions(exception=True)
+        ip = compute_msg_ip(IP_BASE, msg(5), conditions)
+        assert decode_table_address(ip)[0] == HANDLER_ID_EXCEPTION
+
+    def test_exception_wins_over_type0(self):
+        conditions = DispatchConditions(exception=True)
+        ip = compute_msg_ip(IP_BASE, msg(0), conditions)
+        assert decode_table_address(ip)[0] == HANDLER_ID_EXCEPTION
+
+    def test_exception_wins_over_no_message(self):
+        conditions = DispatchConditions(exception=True)
+        ip = compute_msg_ip(IP_BASE, None, conditions)
+        assert decode_table_address(ip)[0] == HANDLER_ID_EXCEPTION
+
+    def test_conditions_visible_in_typed_dispatch(self):
+        conditions = DispatchConditions(iafull=True, oafull=True)
+        ip = compute_msg_ip(IP_BASE, msg(9), conditions)
+        assert decode_table_address(ip) == (9, True, True)
+
+    @given(
+        mtype=st.integers(min_value=2, max_value=15),
+        iafull=st.booleans(),
+        oafull=st.booleans(),
+    )
+    def test_typed_messages_always_table_dispatch(self, mtype, iafull, oafull):
+        conditions = DispatchConditions(iafull=iafull, oafull=oafull)
+        ip = compute_msg_ip(IP_BASE, msg(mtype), conditions)
+        assert decode_table_address(ip) == (mtype, iafull, oafull)
+
+
+class TestDispatchUnit:
+    def test_ip_base_property(self):
+        unit = DispatchUnit()
+        unit.ip_base = IP_BASE
+        assert unit.ip_base == IP_BASE
+
+    def test_msg_ip_and_next_msg_ip_independent(self):
+        unit = DispatchUnit(IP_BASE)
+        current = msg(5)
+        queued = msg(6)
+        conditions = DispatchConditions()
+        assert decode_table_address(unit.msg_ip(current, conditions))[0] == 5
+        assert decode_table_address(unit.next_msg_ip(queued, conditions))[0] == 6
+
+    def test_idle_and_exception_ips(self):
+        unit = DispatchUnit(IP_BASE)
+        assert decode_table_address(unit.idle_ip())[0] == HANDLER_ID_NO_MESSAGE
+        assert decode_table_address(unit.exception_ip())[0] == HANDLER_ID_EXCEPTION
+
+    def test_ip_base_truncated_to_word(self):
+        unit = DispatchUnit(1 << 36)
+        assert unit.ip_base == 0

@@ -1,0 +1,98 @@
+"""Tests for the full-duplex RTL link."""
+
+import pytest
+
+from repro.nic.interface import NetworkInterface
+from repro.nic.link import Link
+from repro.nic.messages import pack_destination
+from repro.nic.rtl import FLITS_PER_MESSAGE, ClockedNIC
+
+
+def chips():
+    return ClockedNIC(NetworkInterface(node=0)), ClockedNIC(
+        NetworkInterface(node=1)
+    )
+
+
+def compose(ni, dest, tag, mtype=2):
+    ni.write_output(0, pack_destination(dest))
+    ni.write_output(1, tag)
+    ni.send(mtype)
+
+
+class TestDelivery:
+    def test_one_message_each_way(self):
+        a, b = chips()
+        link = Link(a, b)
+        compose(a.interface, 1, 0xAAA)
+        compose(b.interface, 0, 0xBBB)
+        link.run_until_idle()
+        assert a.interface.read_input(1) == 0xBBB
+        assert b.interface.read_input(1) == 0xAAA
+
+    def test_flit_accounting(self):
+        a, b = chips()
+        link = Link(a, b)
+        compose(a.interface, 1, 1)
+        link.run_until_idle()
+        assert link.flits_a_to_b == FLITS_PER_MESSAGE
+        assert link.flits_b_to_a == 0
+
+    def test_back_to_back_messages(self):
+        a, b = chips()
+        link = Link(a, b)
+        for tag in range(5):
+            compose(a.interface, 1, tag)
+        link.run_until_idle()
+        received = []
+        while b.interface.msg_valid:
+            received.append(b.interface.read_input(1))
+            b.interface.next()
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_wire_delay_at_least_flit_count(self):
+        a, b = chips()
+        link = Link(a, b)
+        compose(a.interface, 1, 7)
+        elapsed = link.run_until_idle()
+        assert elapsed >= FLITS_PER_MESSAGE
+
+    def test_idle_link_reports_immediately(self):
+        a, b = chips()
+        assert Link(a, b).run_until_idle() == 0
+
+
+class TestBackpressure:
+    def test_full_receiver_stalls_sender(self):
+        a = ClockedNIC(NetworkInterface(node=0))
+        b = ClockedNIC(NetworkInterface(node=1, input_capacity=1))
+        link = Link(a, b)
+        for tag in range(6):
+            compose(a.interface, 1, tag)
+        # b never services: its registers + 1-deep queue absorb 2 messages;
+        # the rest must wait in a's queues/ports without loss.
+        link.run(200)
+        assert link._a_to_b.stalled_cycles > 0
+        held_at_b = b.interface.input_queue.depth + (
+            1 if b.interface.msg_valid else 0
+        )
+        assert held_at_b == 2
+        # Draining b releases the stall; all six arrive.
+        received = []
+        for _ in range(300):
+            while b.interface.msg_valid:
+                received.append(b.interface.read_input(1))
+                b.interface.next()
+            link.step()
+        assert received == [0, 1, 2, 3, 4, 5]
+
+    def test_never_drops_mid_message(self):
+        # Credit is conservative: once a HEAD is accepted the body always
+        # fits, so no partial message can ever be stranded by backpressure.
+        a = ClockedNIC(NetworkInterface(node=0))
+        b = ClockedNIC(NetworkInterface(node=1, input_capacity=2))
+        link = Link(a, b)
+        for tag in range(4):
+            compose(a.interface, 1, tag)
+        link.run(500)
+        assert not b.rx.busy or b.rx_ready

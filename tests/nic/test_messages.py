@@ -1,0 +1,163 @@
+"""Tests for the five-word message format (paper Figure 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MessageFormatError
+from repro.nic.messages import (
+    DEST_BITS,
+    LAST_USER_TYPE,
+    MESSAGE_WORDS,
+    TYPE_EXCEPTION,
+    TYPE_MSG_IP,
+    Message,
+    MessageTypeRegistry,
+    default_registry,
+    pack_destination,
+    unpack_destination,
+)
+
+word = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+node = st.integers(min_value=0, max_value=(1 << DEST_BITS) - 1)
+
+
+class TestDestinationPacking:
+    @given(node=node)
+    def test_roundtrip(self, node):
+        m0 = pack_destination(node, 0x123)
+        assert unpack_destination(m0) == (node, 0x123)
+
+    def test_node_out_of_range(self):
+        with pytest.raises(MessageFormatError):
+            pack_destination(1 << DEST_BITS)
+        with pytest.raises(MessageFormatError):
+            pack_destination(-1)
+
+    def test_low_bits_collision_rejected(self):
+        with pytest.raises(MessageFormatError):
+            pack_destination(0, 0xFFFF_FFFF)
+
+    def test_zero_low_bits(self):
+        assert unpack_destination(pack_destination(5)) == (5, 0)
+
+
+class TestMessage:
+    def test_build_defaults(self):
+        msg = Message.build(2, destination=3)
+        assert msg.mtype == 2
+        assert msg.destination == 3
+        assert msg.words[1:] == (0, 0, 0, 0)
+
+    def test_build_payload(self):
+        msg = Message.build(2, 1, payload=[10, 20, 30])
+        assert msg.words[1] == 10
+        assert msg.words[2] == 20
+        assert msg.words[3] == 30
+        assert msg.words[4] == 0
+
+    def test_payload_too_long(self):
+        with pytest.raises(MessageFormatError):
+            Message.build(2, 1, payload=[1, 2, 3, 4, 5])
+
+    def test_wrong_word_count(self):
+        with pytest.raises(MessageFormatError):
+            Message(2, (1, 2, 3))
+
+    def test_type_range(self):
+        with pytest.raises(MessageFormatError):
+            Message(16, (0, 0, 0, 0, 0))
+        with pytest.raises(MessageFormatError):
+            Message(-1, (0, 0, 0, 0, 0))
+
+    def test_words_truncated_to_32_bits(self):
+        msg = Message(2, (1 << 40, 0, 0, 0, 0))
+        assert msg.words[0] == 0
+
+    def test_word_accessor(self):
+        msg = Message.build(2, 0, payload=[7])
+        assert msg.word(1) == 7
+        with pytest.raises(MessageFormatError):
+            msg.word(5)
+
+    def test_immutability(self):
+        msg = Message.build(2, 0)
+        with pytest.raises(AttributeError):
+            msg.mtype = 3
+
+    def test_with_type(self):
+        msg = Message.build(2, 0).with_type(5)
+        assert msg.mtype == 5
+
+    def test_with_pin_and_privileged(self):
+        msg = Message.build(2, 0).with_pin(9).as_privileged()
+        assert msg.pin == 9
+        assert msg.privileged
+
+    def test_m0_low(self):
+        msg = Message.build(2, 4, m0_low=0x44)
+        assert msg.m0_low == 0x44
+
+    @given(mtype=st.integers(min_value=0, max_value=15), words=st.tuples(*([word] * MESSAGE_WORDS)))
+    def test_roundtrip_words(self, mtype, words):
+        msg = Message(mtype, words)
+        assert msg.words == words
+        assert msg.mtype == mtype
+
+    def test_str_contains_type_and_dest(self):
+        text = str(Message.build(3, 9))
+        assert "type=3" in text and "dest=9" in text
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        reg = MessageTypeRegistry()
+        reg.register("ping", 4)
+        assert reg.lookup("ping") == 4
+
+    def test_exception_type_rejected(self):
+        reg = MessageTypeRegistry()
+        with pytest.raises(MessageFormatError):
+            reg.register("bad", TYPE_EXCEPTION)
+
+    def test_duplicate_value_rejected(self):
+        reg = MessageTypeRegistry()
+        reg.register("a", 4)
+        with pytest.raises(MessageFormatError):
+            reg.register("b", 4)
+
+    def test_rebinding_name_rejected(self):
+        reg = MessageTypeRegistry()
+        reg.register("a", 4)
+        with pytest.raises(MessageFormatError):
+            reg.register("a", 5)
+
+    def test_idempotent_rebind_ok(self):
+        reg = MessageTypeRegistry()
+        reg.register("a", 4)
+        assert reg.register("a", 4) == 4
+
+    def test_unknown_lookup(self):
+        with pytest.raises(MessageFormatError):
+            MessageTypeRegistry().lookup("ghost")
+
+    def test_name_of(self):
+        reg = MessageTypeRegistry()
+        reg.register("a", 4)
+        assert reg.name_of(4) == "a"
+        assert reg.name_of(9) == "type9"
+
+    def test_escape(self):
+        reg = MessageTypeRegistry()
+        reg.register_escape("esc", 15)
+        assert reg.escape_type == 15
+
+    def test_default_registry_conventions(self):
+        reg = default_registry()
+        assert reg.lookup("send") == TYPE_MSG_IP
+        assert reg.lookup("read") == 2
+        assert reg.lookup("pwrite") == 5
+        assert reg.escape_type == LAST_USER_TYPE
+        values = [v for _, v in reg.registered()]
+        assert TYPE_EXCEPTION not in values
+        assert len(set(values)) == len(values)

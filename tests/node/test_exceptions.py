@@ -1,0 +1,66 @@
+"""Tests for the node-level exception path (dispatch id 0001)."""
+
+import pytest
+
+from repro.errors import QueueOverflowError
+from repro.nic.control import SendFullPolicy
+from repro.nic.interface import NetworkInterface
+from repro.nic.messages import pack_destination
+from repro.node.handlers import build_write_request
+from repro.node.node import Node
+
+
+def overflow_node() -> Node:
+    node = Node(0, interface=NetworkInterface(node=0, output_capacity=1))
+    node.interface.control.full_policy = SendFullPolicy.EXCEPTION
+    return node
+
+
+class TestExceptionService:
+    def trigger_overflow(self, node: Node) -> None:
+        node.interface.write_output(0, pack_destination(0))
+        node.interface.send(2)
+        with pytest.raises(QueueOverflowError):
+            node.interface.send(2)
+
+    def test_exception_preempts_messages(self):
+        node = overflow_node()
+        order = []
+        node.on_exception(lambda n, pending: order.append(("exc", pending)))
+        node.interface.deliver(build_write_request(0, 0x40, 1))
+        self.trigger_overflow(node)
+        node.service()
+        assert order and order[0][0] == "exc"
+        assert "exc_output_overflow" in order[0][1]
+        # The queued message was still handled afterwards.
+        assert node.memory.load(0x40) == 1
+
+    def test_exception_cleared_after_service(self):
+        node = overflow_node()
+        self.trigger_overflow(node)
+        node.service()
+        assert not node.interface.status.has_exception
+        assert node.stats.exceptions_handled == 1
+
+    def test_exception_without_message_serviced(self):
+        node = overflow_node()
+        self.trigger_overflow(node)
+        assert node.service() == 1
+
+    def test_default_handler_is_clearing_only(self):
+        node = overflow_node()
+        self.trigger_overflow(node)
+        node.service()  # no handler installed: clears and counts
+        assert node.stats.exceptions_handled == 1
+
+    def test_msgip_reports_exception_while_pending(self):
+        from repro.nic.dispatch import decode_table_address
+
+        node = overflow_node()
+        node.interface.ip_base = 0x8000
+        self.trigger_overflow(node)
+        handler, _, _ = decode_table_address(node.interface.msg_ip)
+        assert handler == 1
+        node.service()
+        handler, _, _ = decode_table_address(node.interface.msg_ip)
+        assert handler == 0

@@ -1,0 +1,155 @@
+"""Tests for I-structure memory semantics and statistics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import IStructureError
+from repro.node.istructure import DeferredReader, IStructureMemory
+
+
+def reader(tag: int = 0) -> DeferredReader:
+    return DeferredReader(frame_pointer=0x1000 + tag, instruction_pointer=0x4000 + tag)
+
+
+class TestAllocation:
+    def test_descriptors_distinct(self):
+        mem = IStructureMemory()
+        a = mem.allocate(4)
+        b = mem.allocate(4)
+        assert a != b
+
+    def test_length(self):
+        mem = IStructureMemory()
+        desc = mem.allocate(7)
+        assert mem.length(desc) == 7
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(IStructureError):
+            IStructureMemory().allocate(-1)
+
+    def test_unknown_descriptor(self):
+        mem = IStructureMemory()
+        with pytest.raises(IStructureError):
+            mem.read(0xDEAD, 0, reader())
+
+    def test_index_bounds(self):
+        mem = IStructureMemory()
+        desc = mem.allocate(2)
+        with pytest.raises(IStructureError):
+            mem.read(desc, 2, reader())
+        with pytest.raises(IStructureError):
+            mem.write(desc, -1, 0)
+
+
+class TestProtocol:
+    def test_read_after_write_is_full(self):
+        mem = IStructureMemory()
+        desc = mem.allocate(1)
+        mem.write(desc, 0, 42)
+        state, value = mem.read(desc, 0, reader())
+        assert state == "full"
+        assert value == 42
+
+    def test_read_before_write_defers(self):
+        mem = IStructureMemory()
+        desc = mem.allocate(1)
+        state, value = mem.read(desc, 0, reader())
+        assert state == "empty"
+        assert value is None
+        assert mem.waiter_count(desc, 0) == 1
+
+    def test_second_read_is_deferred_state(self):
+        mem = IStructureMemory()
+        desc = mem.allocate(1)
+        mem.read(desc, 0, reader(0))
+        state, _ = mem.read(desc, 0, reader(1))
+        assert state == "deferred"
+        assert mem.waiter_count(desc, 0) == 2
+
+    def test_write_satisfies_waiters_in_order(self):
+        mem = IStructureMemory()
+        desc = mem.allocate(1)
+        mem.read(desc, 0, reader(0))
+        mem.read(desc, 0, reader(1))
+        state, satisfied = mem.write(desc, 0, 9)
+        assert state == "deferred"
+        assert [r.frame_pointer for r in satisfied] == [0x1000, 0x1001]
+        assert mem.waiter_count(desc, 0) == 0
+
+    def test_write_to_fresh_element_is_empty_state(self):
+        mem = IStructureMemory()
+        desc = mem.allocate(1)
+        state, satisfied = mem.write(desc, 0, 9)
+        assert state == "empty"
+        assert satisfied == []
+
+    def test_double_write_rejected(self):
+        mem = IStructureMemory()
+        desc = mem.allocate(1)
+        mem.write(desc, 0, 1)
+        with pytest.raises(IStructureError):
+            mem.write(desc, 0, 2)
+
+    def test_peek(self):
+        mem = IStructureMemory()
+        desc = mem.allocate(1)
+        assert mem.peek(desc, 0) is None
+        mem.write(desc, 0, 5)
+        assert mem.peek(desc, 0) == 5
+
+    def test_store_sequence(self):
+        mem = IStructureMemory()
+        desc = mem.allocate(3)
+        mem.store_sequence(desc, [1, 2, 3])
+        assert all(mem.is_full(desc, i) for i in range(3))
+
+
+class TestStats:
+    def test_outcome_counts(self):
+        mem = IStructureMemory()
+        desc = mem.allocate(2)
+        mem.write(desc, 0, 1)  # writes_empty
+        mem.read(desc, 0, reader())  # full
+        mem.read(desc, 1, reader(0))  # empty
+        mem.read(desc, 1, reader(1))  # deferred
+        mem.write(desc, 1, 2)  # writes_deferred, 2 satisfied
+        stats = mem.stats
+        assert stats.reads_full == 1
+        assert stats.reads_empty == 1
+        assert stats.reads_deferred == 1
+        assert stats.writes_empty == 1
+        assert stats.writes_deferred == 1
+        assert stats.deferred_readers_satisfied == 2
+        assert stats.reads == 3
+        assert stats.writes == 2
+
+    def test_merge(self):
+        a = IStructureMemory()
+        b = IStructureMemory()
+        d1 = a.allocate(1)
+        d2 = b.allocate(1)
+        a.write(d1, 0, 1)
+        b.write(d2, 0, 1)
+        a.stats.merge(b.stats)
+        assert a.stats.writes_empty == 2
+
+    @given(order=st.permutations(list(range(6))))
+    def test_every_reader_satisfied_exactly_once(self, order):
+        """Property: whatever the interleaving, reads never lose values."""
+        mem = IStructureMemory()
+        desc = mem.allocate(3)
+        satisfied = []
+        direct = []
+        # Operations: 3 writes (ops 0-2) and 3 reads (ops 3-5) over 3 slots.
+        for op in order:
+            if op < 3:
+                _, readers = mem.write(desc, op, 100 + op)
+                satisfied.extend((r.frame_pointer, 100 + op) for r in readers)
+            else:
+                slot = op - 3
+                state, value = mem.read(desc, slot, reader(slot))
+                if state == "full":
+                    direct.append((0x1000 + slot, value))
+        results = sorted(satisfied + direct)
+        assert results == [(0x1000 + i, 100 + i) for i in range(3)]

@@ -1,0 +1,92 @@
+"""Tests for the word-addressed node memory."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MachineError
+from repro.node.memory import Memory
+
+aligned = st.integers(min_value=0, max_value=1 << 20).map(lambda i: i * 4)
+word = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+
+
+class TestBasics:
+    def test_uninitialised_reads_zero(self):
+        assert Memory().load(0x100) == 0
+
+    def test_store_load(self):
+        mem = Memory()
+        mem.store(0x100, 42)
+        assert mem.load(0x100) == 42
+
+    def test_misaligned_rejected(self):
+        mem = Memory()
+        with pytest.raises(MachineError):
+            mem.load(0x101)
+        with pytest.raises(MachineError):
+            mem.store(0x102, 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(MachineError):
+            Memory().load(-4)
+
+    def test_values_truncated(self):
+        mem = Memory()
+        mem.store(0, 1 << 36)
+        assert mem.load(0) == 0
+
+    def test_len_counts_written_words(self):
+        mem = Memory()
+        mem.store(0, 1)
+        mem.store(4, 2)
+        mem.store(0, 3)
+        assert len(mem) == 2
+
+    def test_clear(self):
+        mem = Memory()
+        mem.store(0, 1)
+        mem.clear()
+        assert mem.load(0) == 0
+
+    def test_access_counters(self):
+        mem = Memory()
+        mem.store(0, 1)
+        mem.load(0)
+        mem.load(4)
+        assert mem.stores == 1
+        assert mem.loads == 2
+
+
+class TestBlocks:
+    def test_block_roundtrip(self):
+        mem = Memory()
+        mem.store_block(0x40, [1, 2, 3])
+        assert mem.load_block(0x40, 3) == [1, 2, 3]
+
+    def test_block_pads_with_zero(self):
+        mem = Memory()
+        mem.store(0x40, 9)
+        assert mem.load_block(0x40, 3) == [9, 0, 0]
+
+    @given(address=aligned, values=st.lists(word, min_size=1, max_size=16))
+    def test_block_property(self, address, values):
+        mem = Memory()
+        mem.store_block(address, values)
+        assert mem.load_block(address, len(values)) == values
+
+    @given(
+        ops=st.lists(
+            st.tuples(aligned, word),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_last_write_wins(self, ops):
+        mem = Memory()
+        model = {}
+        for address, value in ops:
+            mem.store(address, value)
+            model[address] = value
+        for address, value in model.items():
+            assert mem.load(address) == value

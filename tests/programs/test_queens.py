@@ -1,0 +1,56 @@
+"""Tests for the N-Queens search program."""
+
+import pytest
+
+from repro.errors import TamError
+from repro.programs.queens import MAX_N, reference_count, run_queens
+
+KNOWN_COUNTS = {1: 1, 2: 0, 3: 0, 4: 2, 5: 10, 6: 4, 7: 40}
+
+
+class TestReferenceCount:
+    @pytest.mark.parametrize("n,expected", sorted(KNOWN_COUNTS.items()))
+    def test_known_values(self, n, expected):
+        assert reference_count(n) == expected
+
+
+class TestQueensOnTam:
+    @pytest.mark.parametrize("n", [1, 2, 4, 5, 6])
+    def test_solution_counts(self, n):
+        result = run_queens(n=n, nodes=8)
+        assert result.solutions == KNOWN_COUNTS[n]
+
+    def test_seven_queens(self):
+        result = run_queens(n=7, nodes=16)
+        assert result.solutions == 40
+
+    def test_board_size_bounds(self):
+        with pytest.raises(TamError):
+            run_queens(n=0)
+        with pytest.raises(TamError):
+            run_queens(n=MAX_N + 1)
+
+    def test_node_count_invariant(self):
+        a = run_queens(n=5, nodes=1)
+        b = run_queens(n=5, nodes=16)
+        assert a.solutions == b.solutions
+        assert (
+            a.stats.messages.total_messages == b.stats.messages.total_messages
+        )
+
+    def test_pure_send_mix(self):
+        """Queens is procedure-call traffic only: no memory messages."""
+        mix = run_queens(n=5, nodes=8).stats.messages
+        assert mix.preads == 0
+        assert mix.pwrites == 0
+        assert mix.reads == 0 and mix.writes == 0
+        assert mix.sends > 0
+
+    def test_activation_tree_size(self):
+        """One activation per explored search node (plus the driver)."""
+        result = run_queens(n=4, nodes=8)
+        # 4-queens: root + safe placements explored.
+        assert result.stats.frames_allocated >= 1 + 1
+        # Every spawned worker reports exactly once (send1 tallies).
+        workers = result.stats.frames_allocated - 1
+        assert result.stats.messages.sends_by_words[1] >= workers

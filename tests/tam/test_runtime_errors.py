@@ -1,0 +1,126 @@
+"""Error-path and host-API tests for the TAM runtime."""
+
+import pytest
+
+from repro.errors import TamError
+from repro.tam.codeblock import Codeblock
+from repro.tam.frame import FrameRef
+from repro.tam.instructions import (
+    ConInstr,
+    IfetchInstr,
+    Imm,
+    IstoreInstr,
+    StopInstr,
+)
+from repro.tam.runtime import IStructRef, TamMachine
+
+
+def trivial_machine() -> TamMachine:
+    machine = TamMachine(2)
+    block = Codeblock("t", frame_size=2)
+    block.add_thread("entry", [ConInstr(0, 1), StopInstr()]).set_entry("entry")
+    machine.load(block)
+    return machine
+
+
+class TestConstruction:
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(TamError):
+            TamMachine(0)
+
+    def test_boot_without_entry(self):
+        machine = TamMachine(1)
+        block = Codeblock("noentry", frame_size=1)
+        block.add_thread("t", [StopInstr()])
+        machine.load(block)
+        with pytest.raises(TamError):
+            machine.boot("noentry")
+
+
+class TestHostApi:
+    def test_read_write_slot(self):
+        machine = trivial_machine()
+        ref = machine.boot("t")
+        machine.write_slot(ref, 1, 99)
+        machine.run()
+        assert machine.read_slot(ref, 0) == 1
+        assert machine.read_slot(ref, 1) == 99
+
+    def test_unknown_frame_rejected(self):
+        machine = trivial_machine()
+        machine.boot("t")
+        with pytest.raises(TamError):
+            machine.read_slot(FrameRef(0, 999), 0)
+
+    def test_istructure_peek(self):
+        machine = TamMachine(1)
+        block = Codeblock("p", frame_size=3)
+        block.add_inlet(0, dest_slots=(0,), counter="d")
+        block.add_counter("d", 1, "store")
+        block.add_thread(
+            "entry",
+            [
+                ConInstr(1, 42),
+                # Allocate locally through the runtime for the test.
+                StopInstr(),
+            ],
+        )
+        block.add_thread(
+            "store", [IstoreInstr(0, Imm(0), value=1), StopInstr()]
+        )
+        block.set_entry("entry")
+        machine.load(block)
+        ref = machine.boot("p")
+        # Allocate by hand and inject the descriptor, then run the store.
+        desc = machine.nodes[0].istructures.allocate(2)
+        machine.write_slot(ref, 1, 42)
+        machine.write_slot(ref, 0, IStructRef(0, desc))
+        machine.nodes[0].stack.append(
+            (machine.nodes[0].frames[ref.frame_id], "store")
+        )
+        machine.run()
+        assert machine.istructure_peek(IStructRef(0, desc), 0) == 42
+        assert machine.istructure_peek(IStructRef(0, desc), 1) is None
+
+
+class TestBadReferences:
+    def test_ifetch_through_non_descriptor(self):
+        machine = TamMachine(1)
+        block = Codeblock("bad", frame_size=2)
+        block.add_inlet(0, dest_slots=(1,), counter="v")
+        block.add_counter("v", 1, "done")
+        block.add_thread(
+            "entry",
+            [ConInstr(0, 123), IfetchInstr(0, Imm(0), reply_inlet=0), StopInstr()],
+        )
+        block.add_thread("done", [StopInstr()])
+        block.set_entry("entry")
+        machine.load(block)
+        machine.boot("bad")
+        with pytest.raises(TamError):
+            machine.run()
+
+    def test_istore_through_non_descriptor(self):
+        machine = TamMachine(1)
+        block = Codeblock("bad", frame_size=2)
+        block.add_thread(
+            "entry",
+            [ConInstr(0, 5), IstoreInstr(0, Imm(0), value=0), StopInstr()],
+        )
+        block.set_entry("entry")
+        machine.load(block)
+        machine.boot("bad")
+        with pytest.raises(TamError):
+            machine.run()
+
+    def test_turn_limit_guards_runaway(self):
+        from repro.tam.instructions import ForkInstr
+
+        machine = TamMachine(1)
+        block = Codeblock("spin", frame_size=1)
+        block.add_thread("entry", [ForkInstr("entry"), StopInstr()])
+        block.set_entry("entry")
+        machine.load(block)
+        machine.boot("spin")
+        with pytest.raises(TamError):
+            machine.run(max_turns=100)

@@ -1,0 +1,167 @@
+"""Unit and property tests for the bit-field machinery."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import BitfieldError
+from repro.utils.bitfield import (
+    BitField,
+    BitLayout,
+    Register,
+    mask,
+    sign_extend,
+    to_word,
+)
+
+
+def demo_layout() -> BitLayout:
+    return BitLayout(
+        "demo",
+        [BitField("lo", 0, 4), BitField("mid", 4, 8), BitField("hi", 28, 4)],
+    )
+
+
+class TestMaskAndWords:
+    def test_mask_zero(self):
+        assert mask(0) == 0
+
+    def test_mask_values(self):
+        assert mask(4) == 0xF
+        assert mask(32) == 0xFFFF_FFFF
+
+    def test_mask_negative_rejected(self):
+        with pytest.raises(BitfieldError):
+            mask(-1)
+
+    def test_to_word_truncates(self):
+        assert to_word(1 << 40) == 0
+        assert to_word(-1) == 0xFFFF_FFFF
+
+    def test_sign_extend_positive(self):
+        assert sign_extend(0x7F, 8) == 127
+
+    def test_sign_extend_negative(self):
+        assert sign_extend(0xFF, 8) == -1
+        assert sign_extend(0x8000, 16) == -32768
+
+    def test_sign_extend_bad_width(self):
+        with pytest.raises(BitfieldError):
+            sign_extend(0, 0)
+        with pytest.raises(BitfieldError):
+            sign_extend(0, 33)
+
+
+class TestBitField:
+    def test_extract_and_insert_roundtrip(self):
+        field = BitField("type", 28, 4)
+        word = field.insert(0, 0xA)
+        assert word == 0xA000_0000
+        assert field.extract(word) == 0xA
+
+    def test_insert_preserves_other_bits(self):
+        field = BitField("mid", 8, 8)
+        word = field.insert(0xFFFF_FFFF, 0)
+        assert word == 0xFFFF_00FF
+
+    def test_insert_overflow_rejected(self):
+        field = BitField("small", 0, 2)
+        with pytest.raises(BitfieldError):
+            field.insert(0, 4)
+        with pytest.raises(BitfieldError):
+            field.insert(0, -1)
+
+    def test_field_past_word_rejected(self):
+        with pytest.raises(BitfieldError):
+            BitField("wide", 30, 4)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(BitfieldError):
+            BitField("empty", 0, 0)
+
+    def test_unnamed_rejected(self):
+        with pytest.raises(BitfieldError):
+            BitField("", 0, 1)
+
+
+class TestBitLayout:
+    def test_pack_unpack_roundtrip(self):
+        layout = demo_layout()
+        word = layout.pack(lo=3, mid=200, hi=15)
+        assert layout.unpack(word) == {"lo": 3, "mid": 200, "hi": 15}
+
+    def test_unspecified_fields_default_zero(self):
+        layout = demo_layout()
+        assert layout.unpack(layout.pack(mid=1))["lo"] == 0
+
+    def test_overlap_rejected(self):
+        with pytest.raises(BitfieldError):
+            BitLayout("bad", [BitField("a", 0, 4), BitField("b", 3, 4)])
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(BitfieldError):
+            BitLayout("bad", [BitField("a", 0, 4), BitField("a", 8, 4)])
+
+    def test_unknown_field_rejected(self):
+        layout = demo_layout()
+        with pytest.raises(BitfieldError):
+            layout.pack(nope=1)
+
+    def test_update_changes_only_named_field(self):
+        layout = demo_layout()
+        word = layout.pack(lo=1, mid=2, hi=3)
+        updated = layout.update(word, mid=9)
+        assert layout.unpack(updated) == {"lo": 1, "mid": 9, "hi": 3}
+
+    def test_used_mask(self):
+        layout = demo_layout()
+        assert layout.used_mask == (0xF | (0xFF << 4) | (0xF << 28))
+
+    def test_contains(self):
+        layout = demo_layout()
+        assert "lo" in layout
+        assert "zz" not in layout
+
+    @given(
+        lo=st.integers(min_value=0, max_value=0xF),
+        mid=st.integers(min_value=0, max_value=0xFF),
+        hi=st.integers(min_value=0, max_value=0xF),
+    )
+    def test_pack_unpack_property(self, lo, mid, hi):
+        layout = demo_layout()
+        assert layout.unpack(layout.pack(lo=lo, mid=mid, hi=hi)) == {
+            "lo": lo,
+            "mid": mid,
+            "hi": hi,
+        }
+
+    @given(word=st.integers(min_value=0, max_value=0xFFFF_FFFF))
+    def test_unpack_pack_preserves_used_bits(self, word):
+        layout = demo_layout()
+        repacked = layout.pack(**layout.unpack(word))
+        assert repacked == word & layout.used_mask
+
+
+class TestRegister:
+    def test_field_assignment(self):
+        reg = Register(demo_layout())
+        reg["mid"] = 42
+        assert reg["mid"] == 42
+        assert reg.word == 42 << 4
+
+    def test_load_many(self):
+        reg = Register(demo_layout())
+        reg.load({"lo": 1, "hi": 2})
+        assert reg.as_dict()["lo"] == 1
+        assert reg.as_dict()["hi"] == 2
+
+    def test_raw_word_truncated(self):
+        reg = Register(demo_layout(), initial=1 << 36)
+        assert reg.word == 0
+        reg.word = -1
+        assert reg.word == 0xFFFF_FFFF
+
+    def test_overflowing_field_rejected(self):
+        reg = Register(demo_layout())
+        with pytest.raises(BitfieldError):
+            reg["lo"] = 16

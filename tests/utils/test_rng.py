@@ -1,0 +1,98 @@
+"""Tests for the deterministic splittable PRNG."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import SplitMix64, stream_for
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = SplitMix64(12345)
+        b = SplitMix64(12345)
+        assert [a.next_u64() for _ in range(10)] == [b.next_u64() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = SplitMix64(1)
+        b = SplitMix64(2)
+        assert [a.next_u64() for _ in range(4)] != [b.next_u64() for _ in range(4)]
+
+    def test_stream_for_is_stable(self):
+        assert stream_for(7, 3).next_u64() == stream_for(7, 3).next_u64()
+
+    def test_stream_for_path_sensitive(self):
+        assert stream_for(7, 3).next_u64() != stream_for(7, 4).next_u64()
+        assert stream_for(7, 3, 0).next_u64() != stream_for(7, 3, 1).next_u64()
+
+
+class TestRanges:
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_float_in_unit_interval(self, seed):
+        rng = SplitMix64(seed)
+        for _ in range(5):
+            value = rng.next_float()
+            assert 0.0 <= value < 1.0
+
+    @given(
+        st.integers(min_value=0, max_value=2**64 - 1),
+        st.integers(min_value=1, max_value=1000),
+    )
+    def test_next_below_in_range(self, seed, bound):
+        rng = SplitMix64(seed)
+        for _ in range(5):
+            assert 0 <= rng.next_below(bound) < bound
+
+    def test_next_below_rejects_nonpositive(self):
+        rng = SplitMix64(0)
+        with pytest.raises(ValueError):
+            rng.next_below(0)
+
+    def test_next_below_covers_small_range(self):
+        rng = SplitMix64(99)
+        seen = {rng.next_below(4) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+
+class TestSplit:
+    def test_split_streams_independent(self):
+        parent = SplitMix64(42)
+        child_a = parent.split(0)
+        child_b = parent.split(1)
+        assert child_a.next_u64() != child_b.next_u64()
+
+    def test_split_salt_distinguishes(self):
+        a = SplitMix64(42).split(10)
+        b = SplitMix64(42).split(11)
+        assert a.next_u64() != b.next_u64()
+
+
+class TestChoice:
+    def test_choice_respects_zero_weight(self):
+        rng = SplitMix64(5)
+        for _ in range(100):
+            assert rng.choice_index([0.0, 1.0, 0.0]) == 1
+
+    def test_choice_rejects_all_zero(self):
+        rng = SplitMix64(5)
+        with pytest.raises(ValueError):
+            rng.choice_index([0.0, 0.0])
+
+    def test_choice_rejects_negative(self):
+        rng = SplitMix64(5)
+        with pytest.raises(ValueError):
+            rng.choice_index([1.0, -0.5, 2.0])
+
+    def test_choice_roughly_proportional(self):
+        rng = SplitMix64(2024)
+        counts = [0, 0]
+        for _ in range(4000):
+            counts[rng.choice_index([1.0, 3.0])] += 1
+        ratio = counts[1] / counts[0]
+        assert 2.3 < ratio < 3.9
+
+    def test_uniformity_of_floats(self):
+        rng = SplitMix64(77)
+        draws = [rng.next_float() for _ in range(4000)]
+        mean = sum(draws) / len(draws)
+        assert 0.47 < mean < 0.53

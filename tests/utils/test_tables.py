@@ -1,0 +1,64 @@
+"""Tests for the report table/bar-chart renderers."""
+
+from repro.utils.tables import render_bar_chart, render_table
+
+
+class TestRenderTable:
+    def test_headers_present(self):
+        out = render_table(["name", "cycles"], [["send", 3]])
+        assert "name" in out and "cycles" in out
+
+    def test_rows_rendered(self):
+        out = render_table(["a"], [["x"], ["y"]])
+        assert "x" in out and "y" in out
+
+    def test_integer_grouping(self):
+        out = render_table(["n"], [[1234567]])
+        assert "1,234,567" in out
+
+    def test_float_formatting(self):
+        out = render_table(["f"], [[3.14159]])
+        assert "3.14" in out
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="Table 1")
+        assert out.startswith("Table 1\n=======")
+
+    def test_numeric_right_alignment(self):
+        out = render_table(["n"], [[5], [12345]])
+        lines = out.splitlines()
+        assert lines[-2].endswith("5")
+        assert lines[-1].endswith("12,345")
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a", "b"], [])
+        assert "a" in out
+
+    def test_mixed_column_left_aligned(self):
+        out = render_table(["what"], [["2-3"], ["word"]])
+        assert "2-3" in out
+
+
+class TestRenderBarChart:
+    def test_totals_shown(self):
+        out = render_bar_chart(["m1"], [("compute", [100.0]), ("comm", [50.0])])
+        assert "150" in out
+
+    def test_legend(self):
+        out = render_bar_chart(["m1"], [("compute", [1.0])])
+        assert "legend: #=compute" in out
+
+    def test_bars_scale(self):
+        out = render_bar_chart(
+            ["big", "small"], [("c", [100.0, 10.0])], width=40
+        )
+        big_line, small_line = out.splitlines()[0:2]
+        assert big_line.count("#") > small_line.count("#")
+
+    def test_zero_values_safe(self):
+        out = render_bar_chart(["z"], [("c", [0.0])])
+        assert "z" in out
+
+    def test_title_rendered(self):
+        out = render_bar_chart(["a"], [("c", [1.0])], title="Figure 12")
+        assert out.startswith("Figure 12")
