@@ -1,0 +1,114 @@
+"""Interpreter throughput: the fast path against the reference path.
+
+The other benchmarks time what the paper measures (pricing, figures);
+this one times the measurement *instrument* itself — the TAM interpreter
+that executes every evaluation program.  It runs the three programs on
+both interpreter paths, reports wall-clock and turns/sec (a turn is one
+thread run or one message processed), and writes ``BENCH_runtime.json``
+at the repository root so regressions are visible in review diffs.
+
+Run standalone::
+
+    python benchmarks/bench_runtime_speed.py
+
+or through pytest-benchmark (fast path only, statistical timing)::
+
+    pytest benchmarks/bench_runtime_speed.py --benchmark-only
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.programs.gamteb import run_gamteb
+from repro.programs.matmul import run_matmul
+from repro.programs.queens import run_queens
+
+from conftest import GAMTEB_PHOTONS, MATMUL_N, NODES
+
+QUEENS_N = 6
+
+WORKLOADS = {
+    "matmul": lambda fast: run_matmul(n=MATMUL_N, nodes=NODES, fast=fast),
+    "gamteb": lambda fast: run_gamteb(
+        n_photons=GAMTEB_PHOTONS, nodes=NODES, fast=fast
+    ),
+    "queens": lambda fast: run_queens(n=QUEENS_N, nodes=NODES, fast=fast),
+}
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+
+
+def _time_run(runner, fast: bool, repeats: int):
+    """Best-of-``repeats`` wall clock plus the turn count of one run."""
+    best = float("inf")
+    turns = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = runner(fast)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        turns = result.machine.turns_executed
+    return best, turns
+
+
+def measure(repeats: int = 3) -> dict:
+    """Measure every workload on both paths; returns the report dict."""
+    report = {"nodes": NODES, "repeats": repeats, "workloads": {}}
+    for name, runner in WORKLOADS.items():
+        fast_s, fast_turns = _time_run(runner, True, repeats)
+        ref_s, ref_turns = _time_run(runner, False, max(1, repeats - 2))
+        assert fast_turns == ref_turns, (
+            f"{name}: fast path ran {fast_turns} turns, reference "
+            f"{ref_turns} — the paths diverged"
+        )
+        report["workloads"][name] = {
+            "turns": fast_turns,
+            "fast_seconds": round(fast_s, 4),
+            "reference_seconds": round(ref_s, 4),
+            "fast_turns_per_sec": round(fast_turns / fast_s),
+            "reference_turns_per_sec": round(ref_turns / ref_s),
+            "speedup": round(ref_s / fast_s, 2),
+        }
+    return report
+
+
+def main() -> int:
+    report = measure()
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+    header = f"{'program':<10} {'turns':>8} {'fast':>9} {'reference':>10} {'speedup':>8} {'turns/s':>10}"
+    print(header)
+    for name, row in report["workloads"].items():
+        print(
+            f"{name:<10} {row['turns']:>8,} {row['fast_seconds']:>8.3f}s "
+            f"{row['reference_seconds']:>9.3f}s {row['speedup']:>7.2f}x "
+            f"{row['fast_turns_per_sec']:>10,}"
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (fast path only; the reference path is
+# covered by the standalone runner above).
+# ---------------------------------------------------------------------------
+
+
+def test_matmul_fast_path(benchmark):
+    result = benchmark(run_matmul, MATMUL_N, NODES)
+    assert result.machine.turns_executed > 0
+
+
+def test_gamteb_fast_path(benchmark):
+    result = benchmark(run_gamteb, GAMTEB_PHOTONS, NODES)
+    assert result.machine.turns_executed > 0
+
+
+def test_queens_fast_path(benchmark):
+    result = benchmark(run_queens, QUEENS_N, NODES)
+    assert result.machine.turns_executed > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,12 +8,15 @@ Options::
 
     python -m repro                 # default scales (fast)
     python -m repro --paper-scale   # matmul 100x100, gamteb 16
+    python -m repro --profile       # print timing spans and counters
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+from repro.utils.profiling import PROFILER
 
 
 def main(argv=None) -> int:
@@ -28,6 +31,11 @@ def main(argv=None) -> int:
         "--paper-scale",
         action="store_true",
         help="use the paper's program sizes (slower)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="time each section and the TAM runtime; print a report at the end",
     )
     parser.add_argument(
         "--skip",
@@ -47,31 +55,34 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.profile:
+        PROFILER.enable()
+
     def banner(title: str) -> None:
         print()
         print("#" * 72)
         print(f"# {title}")
         print("#" * 72)
 
-    if "table1" not in args.skip:
+    def section_table1() -> None:
         banner("Table 1 (Section 4.1)")
         from repro.eval.table1 import render_report
 
         print(render_report())
 
-    if "roundtrip" not in args.skip:
+    def section_roundtrip() -> None:
         banner("End-to-end operation costs (derived from Table 1)")
         from repro.eval.roundtrip import render_roundtrips
 
         print(render_roundtrips())
 
-    if "throughput" not in args.skip:
+    def section_throughput() -> None:
         banner("Steady-state service-loop throughput (derived)")
         from repro.eval.throughput import render_throughput
 
         print(render_throughput())
 
-    if "figure12" not in args.skip:
+    def section_figure12() -> None:
         banner("Figure 12 (Section 4.2.3)")
         from repro.eval.figure12 import PAPER_SIZES, render_figure, run_program
 
@@ -81,7 +92,7 @@ def main(argv=None) -> int:
             print(render_figure(program, stats))
             print()
 
-    if "latency" not in args.skip:
+    def section_latency() -> None:
         banner("Off-chip latency sensitivity (Section 4.2.3)")
         from repro.eval.figure12 import run_program
         from repro.eval.latency import render_sweep, sweep
@@ -89,7 +100,7 @@ def main(argv=None) -> int:
         stats = run_program("matmul", size=100 if args.paper_scale else 24)
         print(render_sweep("matmul", sweep(stats)))
 
-    if "ablation" not in args.skip:
+    def section_ablation() -> None:
         banner("Per-optimization ablation (extension)")
         from repro.eval.ablation import render_ablation, run_ablation
         from repro.eval.figure12 import run_program
@@ -97,17 +108,37 @@ def main(argv=None) -> int:
         stats = run_program("matmul", size=24)
         print(render_ablation("matmul", run_ablation(stats)))
 
-    if "grain" not in args.skip:
+    def section_grain() -> None:
         banner("Grain-size sensitivity (extension)")
         from repro.eval.grain import render_grain, sweep as grain_sweep
 
         print(render_grain(grain_sweep()))
 
-    if "survey" not in args.skip:
+    def section_survey() -> None:
         banner("Section 1 survey (extension)")
         from repro.eval.survey import render_survey
 
         print(render_survey())
+
+    sections = [
+        ("table1", section_table1),
+        ("roundtrip", section_roundtrip),
+        ("throughput", section_throughput),
+        ("figure12", section_figure12),
+        ("latency", section_latency),
+        ("ablation", section_ablation),
+        ("grain", section_grain),
+        ("survey", section_survey),
+    ]
+    for name, run_section in sections:
+        if name in args.skip:
+            continue
+        with PROFILER.span(f"section.{name}"):
+            run_section()
+
+    if args.profile:
+        print()
+        print(PROFILER.report())
 
     return 0
 

@@ -29,6 +29,7 @@ from repro.errors import EvaluationError
 from repro.impls.base import ALL_MODELS
 from repro.tam.costmap import CycleBreakdown, breakdown_all_models
 from repro.tam.stats import TamStats
+from repro.utils.profiling import PROFILER
 from repro.utils.tables import render_bar_chart, render_table
 
 DEFAULT_SIZES = {"matmul": 40, "gamteb": 64, "queens": 6}
@@ -37,18 +38,21 @@ PAPER_SIZES = {"matmul": 100, "gamteb": 16, "queens": 6}
 
 def run_program(name: str, size: int | None = None, nodes: int = 16) -> TamStats:
     """Execute one evaluation program and return its statistics."""
-    if name == "matmul":
-        from repro.programs.matmul import run_matmul
+    with PROFILER.span(f"program.{name}"):
+        if name == "matmul":
+            from repro.programs.matmul import run_matmul
 
-        return run_matmul(n=size or DEFAULT_SIZES["matmul"], nodes=nodes).stats
-    if name == "gamteb":
-        from repro.programs.gamteb import run_gamteb
+            return run_matmul(n=size or DEFAULT_SIZES["matmul"], nodes=nodes).stats
+        if name == "gamteb":
+            from repro.programs.gamteb import run_gamteb
 
-        return run_gamteb(n_photons=size or DEFAULT_SIZES["gamteb"], nodes=nodes).stats
-    if name == "queens":
-        from repro.programs.queens import run_queens
+            return run_gamteb(
+                n_photons=size or DEFAULT_SIZES["gamteb"], nodes=nodes
+            ).stats
+        if name == "queens":
+            from repro.programs.queens import run_queens
 
-        return run_queens(n=size or DEFAULT_SIZES["queens"], nodes=nodes).stats
+            return run_queens(n=size or DEFAULT_SIZES["queens"], nodes=nodes).stats
     raise EvaluationError(
         f"unknown program {name!r}; use 'matmul', 'gamteb', or 'queens'"
     )
@@ -163,7 +167,14 @@ def main(argv: List[str] | None = None) -> None:  # pragma: no cover - CLI
         action="store_true",
         help="use the paper's program sizes (matmul 100, gamteb 16)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="time the runs and print the profiler report",
+    )
     args = parser.parse_args(argv)
+    if args.profile:
+        PROFILER.enable()
     if args.program == "both":
         programs = ["matmul", "gamteb"]
     elif args.program == "all":
@@ -176,6 +187,8 @@ def main(argv: List[str] | None = None) -> None:  # pragma: no cover - CLI
         stats = run_program(program, size=size, nodes=args.nodes)
         print(render_figure(program, stats, source=source))
         print()
+    if args.profile:
+        print(PROFILER.report())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -214,6 +214,30 @@ class Sequence:
 
     name: str
     instructions: list = field(default_factory=list)
+    # label_map() cache: (length at build time, {label: index}).  The
+    # length guards against the common mutation — appending instructions —
+    # so callers that grow a sequence between runs get a fresh map.
+    _label_cache: object = field(default=None, repr=False, compare=False)
+
+    def label_map(self) -> dict:
+        """``{label: instruction index}``, cached per sequence.
+
+        The Table 1 harness runs the same handler sequence thousands of
+        times; rebuilding this map per run dominated short-sequence
+        timing.  Raises on duplicate labels (same contract the machine
+        has always enforced).
+        """
+        cache = self._label_cache
+        if cache is not None and cache[0] == len(self.instructions):
+            return cache[1]
+        labels: dict = {}
+        for index, instr in enumerate(self.instructions):
+            if instr.label:
+                if instr.label in labels:
+                    raise ValueError(f"duplicate label {instr.label!r}")
+                labels[instr.label] = index
+        self._label_cache = (len(self.instructions), labels)
+        return labels
 
     def listing(self) -> str:
         """The whole sequence as readable assembly."""

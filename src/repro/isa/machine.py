@@ -204,13 +204,13 @@ class Machine:
         return result
 
     def _label_map(self, sequence: Sequence) -> Dict[str, int]:
-        labels: Dict[str, int] = {}
-        for index, instr in enumerate(sequence.instructions):
-            if instr.label:
-                if instr.label in labels:
-                    raise MachineError(f"duplicate label {instr.label!r}")
-                labels[instr.label] = index
-        return labels
+        # Delegates to the per-sequence cache: re-running a handler
+        # sequence (the Table 1 harness does this per message) no longer
+        # rebuilds the map.
+        try:
+            return sequence.label_map()
+        except ValueError as exc:
+            raise MachineError(str(exc)) from None
 
     def _step(
         self,

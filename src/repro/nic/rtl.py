@@ -29,8 +29,9 @@ same layering the paper uses between Sections 2 and 3.
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Deque, List, Optional
 
 from repro.errors import MessageFormatError
 from repro.nic.interface import NetworkInterface, SendMode, SendResult
@@ -148,7 +149,9 @@ class TransmitPort:
 
     def __init__(self, interface: NetworkInterface) -> None:
         self.interface = interface
-        self._flits: List[Flit] = []
+        # A deque: flits leave from the front one per cycle, and list
+        # pop(0) is O(n) in the queue length.
+        self._flits: Deque[Flit] = deque()
         self.messages_sent = 0
 
     @property
@@ -161,10 +164,10 @@ class TransmitPort:
             message = self.interface.transmit()
             if message is None:
                 return None
-            self._flits = serialize(message)
+            self._flits = deque(serialize(message))
         if not tx_credit:
             return None
-        flit = self._flits.pop(0)
+        flit = self._flits.popleft()
         if not self._flits:
             self.messages_sent += 1
         return flit

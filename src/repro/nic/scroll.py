@@ -20,8 +20,9 @@ a minimal systolic-style stream built from scrolling windows, exercising the
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Deque, Iterable, List, Optional, Sequence
 
 from repro.errors import MessageFormatError, QueueUnderflowError
 from repro.nic.interface import NetworkInterface, SendResult
@@ -206,7 +207,8 @@ class StreamReceiver:
 
     interface: NetworkInterface
     mtype: int
-    _buffer: List[int] = field(default_factory=list)
+    # Stream words drain from the front; a deque keeps get() O(1).
+    _buffer: Deque[int] = field(default_factory=deque)
 
     def poll(self) -> None:
         """Drain any arrived stream segments into the local buffer."""
@@ -224,5 +226,5 @@ class StreamReceiver:
         if not self._buffer:
             self.poll()
         if self._buffer:
-            return self._buffer.pop(0)
+            return self._buffer.popleft()
         return None

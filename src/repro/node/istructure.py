@@ -19,14 +19,17 @@ deferred, full, and empty PReads and PWrites").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from repro.errors import IStructureError
 
 
-@dataclass(frozen=True)
-class DeferredReader:
-    """One queued reader: the continuation its reply must invoke."""
+class DeferredReader(NamedTuple):
+    """One queued reader: the continuation its reply must invoke.
+
+    A NamedTuple (not a frozen dataclass) because the TAM runtime builds
+    one per presence-bit read; construction cost is on the hot path.
+    """
 
     frame_pointer: int
     instruction_pointer: int
@@ -117,7 +120,18 @@ class IStructureMemory:
         The state string is one of ``full`` / ``empty`` / ``deferred``,
         matching the Table 1 row that prices the operation.
         """
-        element = self._element(descriptor, index)
+        # _element inlined: one PRead per IFETCH makes this the hottest
+        # I-structure entry point.
+        try:
+            array = self._arrays[descriptor]
+        except KeyError:
+            raise IStructureError(f"unknown I-structure descriptor {descriptor:#x}") from None
+        if 0 <= index < len(array):
+            element = array[index]
+        else:
+            raise IStructureError(
+                f"index {index} outside I-structure of {len(array)} elements"
+            )
         if element.full:
             self.stats.reads_full += 1
             return "full", element.value
@@ -133,7 +147,16 @@ class IStructureMemory:
         self, descriptor: int, index: int, value: int
     ) -> Tuple[str, List[DeferredReader]]:
         """PWrite: store once; returns the state and any satisfied readers."""
-        element = self._element(descriptor, index)
+        try:
+            array = self._arrays[descriptor]
+        except KeyError:
+            raise IStructureError(f"unknown I-structure descriptor {descriptor:#x}") from None
+        if 0 <= index < len(array):
+            element = array[index]
+        else:
+            raise IStructureError(
+                f"index {index} outside I-structure of {len(array)} elements"
+            )
         if element.full:
             raise IStructureError(
                 f"double write to I-structure {descriptor:#x}[{index}]"

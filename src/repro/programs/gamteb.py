@@ -470,10 +470,14 @@ class GamtebResult:
 
 
 def run_gamteb(
-    n_photons: int = 16, nodes: int = 16, seed: int = 19920501, verify: bool = True
+    n_photons: int = 16,
+    nodes: int = 16,
+    seed: int = 19920501,
+    verify: bool = True,
+    fast: bool = True,
 ) -> GamtebResult:
     """Run the Gamteb reproduction with ``n_photons`` source particles."""
-    machine = TamMachine(nodes)
+    machine = TamMachine(nodes, fast=fast)
     driver = build_driver_codeblock(n_photons, seed)
     machine.load(build_photon_codeblock(done_inlet=PHOTON_DONE_INLET))
     machine.load(driver)

@@ -465,12 +465,18 @@ class MatmulResult:
             )
 
 
-def run_matmul(n: int = 16, nodes: int = 16, verify: bool = True) -> MatmulResult:
-    """Run an n×n blocked matrix multiply on a TAM machine of ``nodes``."""
+def run_matmul(
+    n: int = 16, nodes: int = 16, verify: bool = True, fast: bool = True
+) -> MatmulResult:
+    """Run an n×n blocked matrix multiply on a TAM machine of ``nodes``.
+
+    ``fast=False`` selects the reference interpreter (identical results,
+    used by the golden equivalence tests).
+    """
     if n % BLOCK:
         raise TamError(f"matrix size {n} must be a multiple of {BLOCK}")
     nb = n // BLOCK
-    machine = TamMachine(nodes)
+    machine = TamMachine(nodes, fast=fast)
     driver = build_driver_codeblock(nb)
     done_inlet = 5  # in_done in the driver's inlet numbering
     machine.load(build_block_codeblock(nb, done_inlet=done_inlet))

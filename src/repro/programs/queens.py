@@ -348,6 +348,7 @@ class QueensResult:
     nodes: int
     solutions: int
     stats: TamStats
+    machine: TamMachine
 
     def verify(self) -> None:
         expected = reference_count(self.n)
@@ -357,11 +358,13 @@ class QueensResult:
             )
 
 
-def run_queens(n: int = 6, nodes: int = 16, verify: bool = True) -> QueensResult:
+def run_queens(
+    n: int = 6, nodes: int = 16, verify: bool = True, fast: bool = True
+) -> QueensResult:
     """Count the N-Queens solutions with one activation per tree node."""
     if n < 1 or n > MAX_N:
         raise TamError(f"board size {n} outside 1..{MAX_N}")
-    machine = TamMachine(nodes)
+    machine = TamMachine(nodes, fast=fast)
     machine.load(build_worker(n))
     machine.load(build_driver())
     ref = machine.boot("queens_driver")
@@ -373,6 +376,7 @@ def run_queens(n: int = 6, nodes: int = 16, verify: bool = True) -> QueensResult
         nodes=nodes,
         solutions=int(machine.read_slot(ref, 2)),
         stats=stats,
+        machine=machine,
     )
     if verify:
         result.verify()

@@ -87,6 +87,27 @@ class Codeblock:
                 f"codeblock {self.name!r} has no thread {label!r}"
             ) from None
 
+    def executable_prefix(self, label: str):
+        """The instructions of ``label`` that can actually execute.
+
+        A TAM thread is straight-line code: control only ever leaves it at
+        the first STOP, so anything after that STOP is dead.  Returns
+        ``(instructions, complete)`` where ``complete`` is False for a
+        malformed thread that falls off its end without stopping (the
+        interpreter reports that as an error *after* executing the run).
+        The compiled fast path uses this to precompute a thread's static
+        instruction mix.
+        """
+        from repro.tam.instructions import StopInstr
+
+        instructions = self.thread(label)
+        prefix = []
+        for instr in instructions:
+            prefix.append(instr)
+            if isinstance(instr, StopInstr):
+                return tuple(prefix), True
+        return tuple(prefix), False
+
     def inlet(self, number: int) -> InletSpec:
         try:
             return self.inlets[number]

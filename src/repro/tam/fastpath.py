@@ -1,0 +1,635 @@
+"""Compile-at-load dispatch for the TAM interpreter.
+
+The reference interpreter in :mod:`repro.tam.runtime` decides what every
+instruction is — an ``isinstance`` chain, operand classification, a
+frame-slot bounds check, an enum-keyed stats update — every time it
+executes it.  Like the paper's hardware-assisted dispatch (``MsgIp`` is
+precomputed *before* the handler jumps), all of those decisions are
+static properties of the codeblock, so this module makes them once at
+``load()`` time:
+
+* every thread becomes a tuple of bound handler closures (one per
+  instruction, specialised for operand shape and with slot indices
+  bounds-checked at compile time);
+* every thread's static instruction mix is precomputed, so the stats
+  update is one bulk add per thread run instead of one dict update per
+  instruction;
+* every inlet becomes a delivery closure with its destination slots and
+  synchronisation counter pre-resolved.
+
+Compilation is per *machine*, not just per codeblock: the closures
+capture the machine's ``_post`` / round-robin / stats objects directly,
+so executing an instruction is one call with no attribute traversal —
+``op(state, frame)`` where ``state`` is the executing node's
+``_NodeState`` and ``frame`` the current activation.
+
+The closures run against the same :class:`~repro.tam.frame.Frame`,
+node-state, and stats objects as the reference path, so a fast run is
+bit-for-bit identical to a reference run (the golden equivalence test
+asserts this field by field).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import TamError
+from repro.tam.codeblock import Codeblock, InletSpec
+from repro.tam.frame import Frame, FrameRef
+from repro.tam.instructions import (
+    ConInstr,
+    FallocInstr,
+    ForkInstr,
+    IallocInstr,
+    IfetchInstr,
+    Imm,
+    Instr,
+    IstoreInstr,
+    Kind,
+    MovInstr,
+    Op,
+    OpInstr,
+    ReadInstr,
+    ResetInstr,
+    SelfInstr,
+    SendInstr,
+    StopInstr,
+    SwitchInstr,
+    WriteInstr,
+)
+from repro.tam.messages import IStructRef, MsgKind, TamMessage
+
+# Hot closures construct TamMessages positionally; keep these in sync with
+# the field order (kind, node, inlet, frame_id, values, codeblock,
+# reply_to, descriptor, index, address).
+_SEND = MsgKind.SEND
+_FALLOC = MsgKind.FALLOC
+_IALLOC = MsgKind.IALLOC
+_PREAD = MsgKind.PREAD
+_PWRITE = MsgKind.PWRITE
+_READ = MsgKind.READ
+_WRITE = MsgKind.WRITE
+
+# ---------------------------------------------------------------------------
+# ALU semantics, shared with the reference interpreter so both paths
+# produce bit-identical values.
+# ---------------------------------------------------------------------------
+
+OP_FUNCS: Dict[Op, Callable] = {
+    Op.IADD: lambda a, b: int(a) + int(b),
+    Op.ISUB: lambda a, b: int(a) - int(b),
+    Op.IMUL: lambda a, b: int(a) * int(b),
+    Op.IDIV: lambda a, b: int(a) // int(b),
+    Op.FADD: lambda a, b: float(a) + float(b),
+    Op.FSUB: lambda a, b: float(a) - float(b),
+    Op.FMUL: lambda a, b: float(a) * float(b),
+    Op.FDIV: lambda a, b: float(a) / float(b),
+    Op.LT: lambda a, b: 1 if a < b else 0,
+    Op.LE: lambda a, b: 1 if a <= b else 0,
+    Op.EQ: lambda a, b: 1 if a == b else 0,
+    Op.AND: lambda a, b: 1 if (a and b) else 0,
+    Op.OR: lambda a, b: 1 if (a or b) else 0,
+    Op.MIN: lambda a, b: a if a < b else b,
+    Op.MAX: lambda a, b: a if a > b else b,
+}
+
+
+class CompiledThread:
+    """One thread, ready to run: handler closures plus its static mix."""
+
+    __slots__ = ("ops", "mix", "complete")
+
+    def __init__(
+        self,
+        ops: Tuple[Callable, ...],
+        mix: Tuple[Tuple[Kind, int], ...],
+        complete: bool,
+    ) -> None:
+        self.ops = ops
+        self.mix = mix
+        self.complete = complete
+
+
+class CompiledCodeblock:
+    """A codeblock with every dispatch decision made ahead of time."""
+
+    __slots__ = ("name", "threads", "inlets", "entry")
+
+    def __init__(self, name: str, entry: Optional[str]) -> None:
+        self.name = name
+        self.entry = entry
+        self.threads: Dict[str, CompiledThread] = {}
+        self.inlets: Dict[int, Callable] = {}
+
+
+def compile_codeblock(codeblock: Codeblock, machine) -> CompiledCodeblock:
+    """Compile a validated codeblock for execution on ``machine``."""
+    compiled = CompiledCodeblock(codeblock.name, codeblock.entry)
+    for label in codeblock.threads:
+        prefix, complete = codeblock.executable_prefix(label)
+        mix: Dict[Kind, int] = {}
+        for instr in prefix:
+            kind = instr.kind
+            mix[kind] = mix.get(kind, 0) + 1
+        body = prefix[:-1] if complete else prefix
+        ops = tuple(_compile_instr(codeblock, instr, machine) for instr in body)
+        compiled.threads[label] = CompiledThread(ops, tuple(mix.items()), complete)
+    for number, spec in codeblock.inlets.items():
+        compiled.inlets[number] = _compile_inlet(codeblock, spec)
+    return compiled
+
+
+# ---------------------------------------------------------------------------
+# Operand access, bounds-checked at compile time.
+# ---------------------------------------------------------------------------
+
+
+def _slot_loader(codeblock: Codeblock, slot: int) -> Callable[[Frame], object]:
+    if 0 <= slot < codeblock.frame_size:
+        return lambda frame: frame.slots[slot]
+    # Out-of-range: defer to the checked accessor so the run raises the
+    # same FrameError at the same execution point as the reference path.
+    return lambda frame: frame.read(slot)
+
+
+def _slot_writer(codeblock: Codeblock, slot: int):
+    if 0 <= slot < codeblock.frame_size:
+        def write(frame: Frame, value) -> None:
+            frame.slots[slot] = value
+    else:
+        def write(frame: Frame, value) -> None:
+            frame.write(slot, value)
+    return write
+
+
+def _operand_loader(codeblock: Codeblock, operand) -> Callable[[Frame], object]:
+    if isinstance(operand, Imm):
+        value = operand.value
+        return lambda frame: value
+    return _slot_loader(codeblock, operand)
+
+
+def _in_range(codeblock: Codeblock, slot) -> bool:
+    return (
+        not isinstance(slot, Imm)
+        and 0 <= slot < codeblock.frame_size
+    )
+
+
+# ---------------------------------------------------------------------------
+# Per-instruction compilers.  Each receives the machine so the returned
+# closure can capture exactly the machine attributes it needs.
+# ---------------------------------------------------------------------------
+
+
+def _c_con(cb: Codeblock, instr: ConInstr, machine):
+    dest, value = instr.dest, instr.value
+    if 0 <= dest < cb.frame_size:
+        def run(state, frame):
+            frame.slots[dest] = value
+        return run
+    write = _slot_writer(cb, dest)
+    return lambda state, frame: write(frame, value)
+
+
+def _c_mov(cb: Codeblock, instr: MovInstr, machine):
+    dest, src = instr.dest, instr.src
+    if 0 <= dest < cb.frame_size and 0 <= src < cb.frame_size:
+        def run(state, frame):
+            slots = frame.slots
+            slots[dest] = slots[src]
+        return run
+    read = _slot_loader(cb, src)
+    write = _slot_writer(cb, dest)
+    return lambda state, frame: write(frame, read(frame))
+
+
+def _c_self(cb: Codeblock, instr: SelfInstr, machine):
+    dest = instr.dest
+    if 0 <= dest < cb.frame_size:
+        def run(state, frame):
+            frame.slots[dest] = frame.ref
+        return run
+    write = _slot_writer(cb, dest)
+    return lambda state, frame: write(frame, frame.ref)
+
+
+# ALU expression templates mirroring OP_FUNCS exactly; {a}/{b} are
+# side-effect-free operand expressions, so evaluating one twice (MIN/MAX)
+# is safe.
+_OP_TEMPLATES = {
+    Op.IADD: "int({a}) + int({b})",
+    Op.ISUB: "int({a}) - int({b})",
+    Op.IMUL: "int({a}) * int({b})",
+    Op.IDIV: "int({a}) // int({b})",
+    Op.FADD: "float({a}) + float({b})",
+    Op.FSUB: "float({a}) - float({b})",
+    Op.FMUL: "float({a}) * float({b})",
+    Op.FDIV: "float({a}) / float({b})",
+    Op.LT: "1 if {a} < {b} else 0",
+    Op.LE: "1 if {a} <= {b} else 0",
+    Op.EQ: "1 if {a} == {b} else 0",
+    Op.AND: "1 if ({a} and {b}) else 0",
+    Op.OR: "1 if ({a} or {b}) else 0",
+    Op.MIN: "{a} if {a} < {b} else {b}",
+    Op.MAX: "{a} if {a} > {b} else {b}",
+}
+
+_EXEC_GLOBALS = {"__builtins__": {}, "int": int, "float": float}
+
+
+def _operand_expr(cb: Codeblock, operand):
+    """A source expression for an operand, or None if it needs a loader."""
+    if isinstance(operand, Imm):
+        value = operand.value
+        if type(value) in (int, float, bool):
+            return repr(value)  # literals round-trip exactly
+        return None
+    if 0 <= operand < cb.frame_size:
+        return f"slots[{operand}]"
+    return None
+
+
+def _c_op(cb: Codeblock, instr: OpInstr, machine):
+    fn = OP_FUNCS.get(instr.op)
+    if fn is None:  # pragma: no cover - parity with the reference path
+        op = instr.op
+
+        def run(state, frame):
+            raise TamError(f"unimplemented op {op}")
+
+        return run
+    dest, a, b = instr.dest, instr.a, instr.b
+    if 0 <= dest < cb.frame_size:
+        # Template-compile the whole instruction: operand reads, the ALU
+        # expression, and the destination store become one code object
+        # with no function-call indirection.
+        template = _OP_TEMPLATES.get(instr.op)
+        a_expr = _operand_expr(cb, a)
+        b_expr = _operand_expr(cb, b)
+        if template and a_expr and b_expr:
+            source = (
+                "def run(state, frame):\n"
+                "    slots = frame.slots\n"
+                f"    slots[{dest}] = {template.format(a=a_expr, b=b_expr)}\n"
+            )
+            namespace = {}
+            exec(source, _EXEC_GLOBALS, namespace)
+            return namespace["run"]
+        if _in_range(cb, a) and _in_range(cb, b):
+            def run(state, frame):
+                slots = frame.slots
+                slots[dest] = fn(slots[a], slots[b])
+            return run
+    read_a = _operand_loader(cb, a)
+    read_b = _operand_loader(cb, b)
+    write = _slot_writer(cb, dest)
+    return lambda state, frame: write(frame, fn(read_a(frame), read_b(frame)))
+
+
+def _c_fork(cb: Codeblock, instr: ForkInstr, machine):
+    label = instr.label
+
+    def run(state, frame):
+        state.stack.append((frame, label))
+
+    return run
+
+
+def _c_switch(cb: Codeblock, instr: SwitchInstr, machine):
+    read_cond = _slot_loader(cb, instr.cond)
+    then_label, else_label = instr.then_label, instr.else_label
+    if else_label is None:
+        def run(state, frame):
+            if read_cond(frame):
+                state.stack.append((frame, then_label))
+        return run
+
+    def run(state, frame):
+        if read_cond(frame):
+            state.stack.append((frame, then_label))
+        else:
+            state.stack.append((frame, else_label))
+
+    return run
+
+
+def _c_reset(cb: Codeblock, instr: ResetInstr, machine):
+    counter, count = instr.counter, instr.count
+    if counter in cb.counters and count >= 0:
+        def run(state, frame):
+            frame._counters[counter] = count
+        return run
+    # Unknown counter / negative count: the checked accessor raises the
+    # reference FrameError at execution time.
+    return lambda state, frame: frame.reset(counter, count)
+
+
+def _c_falloc(cb: Codeblock, instr: FallocInstr, machine):
+    codeblock_name, reply_inlet = instr.codeblock, instr.reply_inlet
+    post = machine._post
+    round_robin = machine._round_robin
+    sends = machine._sends_by_words
+
+    def run(state, frame):
+        sends[1] += 1
+        post(
+            TamMessage(
+                _FALLOC, round_robin(), 0, 0, (), codeblock_name,
+                (frame.ref, reply_inlet),
+            )
+        )
+
+    return run
+
+
+def _c_send(cb: Codeblock, instr: SendInstr, machine):
+    frame_slot, inlet = instr.frame_slot, instr.inlet
+    post = machine._post
+    sends = machine._sends_by_words
+
+    def check_ref(ref):
+        if not isinstance(ref, FrameRef):
+            raise TamError(
+                f"SEND through slot {frame_slot} which holds "
+                f"{ref!r}, not a frame reference"
+            )
+
+    value_slots = instr.values
+    n_values = len(value_slots)
+    all_in_range = _in_range(cb, frame_slot) and all(
+        _in_range(cb, slot) for slot in value_slots
+    )
+    # The common shapes — every slot statically in range, 0/1/2 payload
+    # words — read frame.slots directly; everything else goes through
+    # checked loaders.
+    if all_in_range and n_values == 1:
+        s0 = value_slots[0]
+
+        def run(state, frame):
+            slots = frame.slots
+            ref = slots[frame_slot]
+            if type(ref) is not FrameRef:
+                check_ref(ref)
+            sends[1] += 1
+            post(TamMessage(_SEND, ref.node, inlet, ref.frame_id, (slots[s0],)))
+
+        return run
+    if all_in_range and n_values == 2:
+        s0, s1 = value_slots
+
+        def run(state, frame):
+            slots = frame.slots
+            ref = slots[frame_slot]
+            if type(ref) is not FrameRef:
+                check_ref(ref)
+            sends[2] += 1
+            post(
+                TamMessage(
+                    _SEND, ref.node, inlet, ref.frame_id,
+                    (slots[s0], slots[s1]),
+                )
+            )
+
+        return run
+    read_ref = _slot_loader(cb, frame_slot)
+    loaders = tuple(_slot_loader(cb, slot) for slot in value_slots)
+
+    def run(state, frame):
+        ref = read_ref(frame)
+        if type(ref) is not FrameRef:
+            check_ref(ref)
+        sends[n_values] += 1
+        post(
+            TamMessage(
+                _SEND, ref.node, inlet, ref.frame_id,
+                tuple(load(frame) for load in loaders),
+            )
+        )
+
+    return run
+
+
+def _c_ialloc(cb: Codeblock, instr: IallocInstr, machine):
+    read_length = _operand_loader(cb, instr.length)
+    reply_inlet = instr.reply_inlet
+    post = machine._post
+    round_robin = machine._round_robin
+    sends = machine._sends_by_words
+
+    def run(state, frame):
+        sends[1] += 1
+        post(
+            TamMessage(
+                _IALLOC, round_robin(), 0, 0, (), "",
+                (frame.ref, reply_inlet), 0, int(read_length(frame)),
+            )
+        )
+
+    return run
+
+
+def _c_ifetch(cb: Codeblock, instr: IfetchInstr, machine):
+    desc_slot = instr.desc_slot
+    reply_inlet = instr.reply_inlet
+    post = machine._post
+    index = instr.index
+    # Dominant shape: descriptor and index both statically in-range slots.
+    if _in_range(cb, desc_slot) and _in_range(cb, index):
+        def run(state, frame):
+            slots = frame.slots
+            ref = slots[desc_slot]
+            if not isinstance(ref, IStructRef):
+                raise TamError(
+                    f"IFETCH through slot {desc_slot} which holds "
+                    f"{ref!r}, not an I-structure reference"
+                )
+            post(
+                TamMessage(
+                    _PREAD, ref.node, 0, 0, (), "",
+                    (frame.ref, reply_inlet), ref.descriptor,
+                    int(slots[index]),
+                )
+            )
+
+        return run
+    read_desc = _slot_loader(cb, desc_slot)
+    read_index = _operand_loader(cb, index)
+
+    def run(state, frame):
+        ref = read_desc(frame)
+        if not isinstance(ref, IStructRef):
+            raise TamError(
+                f"IFETCH through slot {desc_slot} which holds "
+                f"{ref!r}, not an I-structure reference"
+            )
+        post(
+            TamMessage(
+                _PREAD, ref.node, 0, 0, (), "",
+                (frame.ref, reply_inlet), ref.descriptor,
+                int(read_index(frame)),
+            )
+        )
+
+    return run
+
+
+def _c_istore(cb: Codeblock, instr: IstoreInstr, machine):
+    desc_slot = instr.desc_slot
+    post = machine._post
+    index, value_slot = instr.index, instr.value
+    if (
+        _in_range(cb, desc_slot)
+        and _in_range(cb, index)
+        and _in_range(cb, value_slot)
+    ):
+        def run(state, frame):
+            slots = frame.slots
+            ref = slots[desc_slot]
+            if not isinstance(ref, IStructRef):
+                raise TamError(
+                    f"ISTORE through slot {desc_slot} which holds "
+                    f"{ref!r}, not an I-structure reference"
+                )
+            post(
+                TamMessage(
+                    _PWRITE, ref.node, 0, 0, (slots[value_slot],), "",
+                    None, ref.descriptor, int(slots[index]),
+                )
+            )
+
+        return run
+    read_desc = _slot_loader(cb, desc_slot)
+    read_index = _operand_loader(cb, index)
+    read_value = _slot_loader(cb, value_slot)
+
+    def run(state, frame):
+        ref = read_desc(frame)
+        if not isinstance(ref, IStructRef):
+            raise TamError(
+                f"ISTORE through slot {desc_slot} which holds "
+                f"{ref!r}, not an I-structure reference"
+            )
+        post(
+            TamMessage(
+                _PWRITE, ref.node, 0, 0, (read_value(frame),), "",
+                None, ref.descriptor, int(read_index(frame)),
+            )
+        )
+
+    return run
+
+
+def _c_read(cb: Codeblock, instr: ReadInstr, machine):
+    read_node = _slot_loader(cb, instr.node_slot)
+    read_address = _operand_loader(cb, instr.address)
+    reply_inlet = instr.reply_inlet
+    post = machine._post
+
+    def run(state, frame):
+        post(
+            TamMessage(
+                _READ, int(read_node(frame)), 0, 0, (), "",
+                (frame.ref, reply_inlet), 0, 0, int(read_address(frame)),
+            )
+        )
+
+    return run
+
+
+def _c_write(cb: Codeblock, instr: WriteInstr, machine):
+    read_node = _slot_loader(cb, instr.node_slot)
+    read_address = _operand_loader(cb, instr.address)
+    read_value = _slot_loader(cb, instr.value)
+    post = machine._post
+
+    def run(state, frame):
+        post(
+            TamMessage(
+                _WRITE, int(read_node(frame)), 0, 0,
+                (read_value(frame),), "", None, 0, 0,
+                int(read_address(frame)),
+            )
+        )
+
+    return run
+
+
+_COMPILERS = {
+    ConInstr: _c_con,
+    MovInstr: _c_mov,
+    SelfInstr: _c_self,
+    OpInstr: _c_op,
+    ForkInstr: _c_fork,
+    SwitchInstr: _c_switch,
+    ResetInstr: _c_reset,
+    FallocInstr: _c_falloc,
+    SendInstr: _c_send,
+    IallocInstr: _c_ialloc,
+    IfetchInstr: _c_ifetch,
+    IstoreInstr: _c_istore,
+    ReadInstr: _c_read,
+    WriteInstr: _c_write,
+}
+
+
+def _compile_instr(codeblock: Codeblock, instr: Instr, machine):
+    compiler = _COMPILERS.get(type(instr))
+    if compiler is not None:
+        return compiler(codeblock, instr, machine)
+    # Unknown instruction subclass: defer to the reference interpreter at
+    # execution time so both paths raise the identical error.
+    execute = machine._execute
+    return lambda state, frame: execute(state, frame, instr)
+
+
+# ---------------------------------------------------------------------------
+# Inlet delivery.
+# ---------------------------------------------------------------------------
+
+
+def _compile_inlet(codeblock: Codeblock, spec: InletSpec):
+    """Compile one inlet into ``deliver(state, frame, values)``.
+
+    ``validate()`` has already checked that the destination slots are in
+    range and the counter (if any) exists, so delivery can write slots and
+    decrement the counter directly; the thread a counter posts at zero is
+    resolved at compile time.
+    """
+    dest_slots = spec.dest_slots
+    counter = spec.counter
+    thread = (
+        codeblock.counters[counter].thread if counter is not None else None
+    )
+    if len(dest_slots) == 1 and counter is not None:
+        slot = dest_slots[0]
+
+        def deliver(state, frame, values):
+            if values:
+                frame.slots[slot] = values[0]
+            counters = frame._counters
+            remaining = counters[counter]
+            if remaining <= 0:
+                frame.decrement(counter)  # raises the reference FrameError
+            remaining -= 1
+            counters[counter] = remaining
+            if remaining == 0:
+                state.stack.append((frame, thread))
+
+        return deliver
+
+    def deliver(state, frame, values):
+        slots = frame.slots
+        for slot, value in zip(dest_slots, values):
+            slots[slot] = value
+        if counter is not None:
+            counters = frame._counters
+            remaining = counters[counter]
+            if remaining <= 0:
+                frame.decrement(counter)
+            remaining -= 1
+            counters[counter] = remaining
+            if remaining == 0:
+                state.stack.append((frame, thread))
+
+    return deliver

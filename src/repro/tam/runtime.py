@@ -14,18 +14,31 @@ Scheduling is LIFO per node (the paper determined its presence-bit
 outcome ratios under "LIFO scheduling of dataflow tokens"); nodes are
 serviced round-robin, one message or one thread per turn, so runs are
 reproducible bit for bit.
+
+Two execution paths implement those semantics:
+
+* the **fast path** (default): threads and inlets are compiled to bound
+  handler closures at ``load()`` time (:mod:`repro.tam.fastpath`) and the
+  scheduler keeps an active-node work queue, so idle nodes cost nothing;
+* the **reference path** (``TamMachine(n, fast=False)``): the original
+  per-instruction ``isinstance`` interpreter with a scan-all-nodes
+  scheduler, kept as the executable specification.
+
+Both paths service nodes in the identical round-robin sweep order and
+produce field-for-field identical :class:`~repro.tam.stats.TamStats`
+(asserted by ``tests/tam/test_golden_equivalence.py``).
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import DeadlockError, TamError
 from repro.node.istructure import DeferredReader, IStructureMemory
 from repro.node.memory import Memory
 from repro.tam.codeblock import Codeblock
+from repro.tam.fastpath import OP_FUNCS, compile_codeblock
 from repro.tam.frame import Frame, FrameRef
 from repro.tam.instructions import (
     ConInstr,
@@ -48,43 +61,16 @@ from repro.tam.instructions import (
     SwitchInstr,
     WriteInstr,
 )
+from repro.tam.messages import (
+    FRAME_ID_BITS as _FRAME_ID_BITS,
+    IStructRef,
+    MsgKind,
+    TamMessage,
+)
 from repro.tam.stats import TamStats
+from repro.utils.profiling import PROFILER
 
-_FRAME_ID_BITS = 22
-
-
-@dataclass(frozen=True)
-class IStructRef:
-    """A global I-structure name: (node, local descriptor)."""
-
-    node: int
-    descriptor: int
-
-
-class MsgKind(enum.Enum):
-    SEND = "send"
-    FALLOC = "falloc"
-    IALLOC = "ialloc"
-    PREAD = "pread"
-    PWRITE = "pwrite"
-    READ = "read"
-    WRITE = "write"
-    REPLY = "reply"  # a read / pread-full / forwarded value (costed as
-    # part of the requesting operation, received as a Send)
-
-
-@dataclass(frozen=True)
-class TamMessage:
-    kind: MsgKind
-    node: int
-    inlet: int = 0
-    frame_id: int = 0
-    values: Tuple = ()
-    codeblock: str = ""
-    reply_to: Optional[Tuple[FrameRef, int]] = None
-    descriptor: int = 0
-    index: int = 0
-    address: int = 0
+__all__ = ["IStructRef", "MsgKind", "TamMessage", "TamMachine"]
 
 
 class _NodeState:
@@ -92,7 +78,7 @@ class _NodeState:
 
     def __init__(self, node_id: int) -> None:
         self.node_id = node_id
-        self.inbox: List[TamMessage] = []
+        self.inbox: Deque[TamMessage] = deque()
         self.stack: List[Tuple[Frame, str]] = []
         self.frames: Dict[int, Frame] = {}
         self.istructures = IStructureMemory()
@@ -101,16 +87,39 @@ class _NodeState:
 
 
 class TamMachine:
-    """A whole TAM machine."""
+    """A whole TAM machine.
 
-    def __init__(self, n_nodes: int = 1) -> None:
+    ``fast=True`` (the default) selects the compiled execution path;
+    ``fast=False`` selects the reference interpreter.  Both produce
+    identical statistics and results.
+    """
+
+    def __init__(self, n_nodes: int = 1, fast: bool = True) -> None:
         if n_nodes < 1:
             raise TamError("a TAM machine needs at least one node")
         self.n_nodes = n_nodes
+        self.fast = fast
         self.nodes = [_NodeState(n) for n in range(n_nodes)]
         self.codeblocks: Dict[str, Codeblock] = {}
         self.stats = TamStats()
+        self.turns_executed = 0
         self._rr_next = 0
+        self._compiled: Dict[str, object] = {}
+        # Active-node scheduler state; live only while a fast run is in
+        # progress (_sched_active False otherwise, which _post uses as the
+        # signal that no activity flags need maintaining).  Each flag
+        # array carries a True sentinel at index n_nodes so the sweep scan
+        # (list.index) always terminates without an exception.
+        self._sched_active = False
+        self._in_current = [False] * n_nodes + [True]
+        self._in_next = [False] * n_nodes + [True]
+        self._sweep_pos = -1
+        self._deliver = (
+            self._deliver_message_fast if fast else self._deliver_message
+        )
+        # Shortcut for the fast path's send accounting (the stats object
+        # is created once here and never replaced).
+        self._sends_by_words = self.stats.messages.sends_by_words
 
     # ------------------------------------------------------------------
     # Program loading and boot.
@@ -121,6 +130,8 @@ class TamMachine:
         if codeblock.name in self.codeblocks:
             raise TamError(f"codeblock {codeblock.name!r} already loaded")
         self.codeblocks[codeblock.name] = codeblock
+        if self.fast:
+            self._compiled[codeblock.name] = compile_codeblock(codeblock, self)
 
     def boot(
         self, codeblock_name: str, slots: Optional[Dict[int, object]] = None
@@ -148,6 +159,10 @@ class TamMachine:
         ref = FrameRef(node_id, state.next_frame_id)
         state.next_frame_id += 1
         frame = Frame(codeblock, ref)
+        if self.fast:
+            compiled = self._compiled[codeblock_name]
+            frame.compiled = compiled
+            frame.inlets = compiled.inlets
         state.frames[ref.frame_id] = frame
         self.stats.frames_allocated += 1
         return frame
@@ -174,7 +189,24 @@ class TamMachine:
     # ------------------------------------------------------------------
 
     def run(self, max_turns: int = 100_000_000) -> TamStats:
-        """Execute to quiescence; returns the accumulated statistics."""
+        """Execute to quiescence; returns the accumulated statistics.
+
+        ``max_turns`` bounds *productive* turns (threads run plus messages
+        processed); sweeps over idle nodes are not charged against it.
+        """
+        with PROFILER.span("tam.run"):
+            if self.fast:
+                turns = self._run_fast(max_turns)
+            else:
+                turns = self._run_reference(max_turns)
+        self.turns_executed += turns
+        PROFILER.add("tam.turns", turns)
+        PROFILER.add("tam.runs", 1)
+        self._check_quiescence()
+        return self.stats
+
+    def _run_reference(self, max_turns: int) -> int:
+        """The original scan-all-nodes scheduler (executable spec)."""
         turns = 0
         while True:
             progressed = False
@@ -186,17 +218,96 @@ class TamMachine:
                 if state.stack:
                     frame, label = state.stack.pop()
                     self._run_thread(state, frame, label)
-                    progressed = True
                 elif state.inbox:
-                    self._process_message(state, state.inbox.pop(0))
-                    progressed = True
+                    self._process_message(state, state.inbox.popleft())
+                else:
+                    continue
+                progressed = True
                 turns += 1
                 if turns > max_turns:
                     raise TamError(f"TAM run exceeded {max_turns} turns")
             if not progressed:
                 break
-        self._check_quiescence()
-        return self.stats
+        return turns
+
+    def _run_fast(self, max_turns: int) -> int:
+        """Active-node scheduler: identical service order, no idle scans.
+
+        The reference loop sweeps every node in index order, each active
+        node performing one unit of work per sweep.  This loop reproduces
+        that order exactly with per-node activity flags: the sweep scans
+        the current-sweep flag array in ascending order (``list.index`` is
+        a C-level scan, and the sentinel True at index ``n_nodes`` marks
+        the end of the sweep); a node activated mid-sweep joins the
+        current sweep if the sweep has not yet passed it (the reference
+        loop would still reach it) and the next sweep otherwise — that
+        split lives in :meth:`_post`, the only place a *different* node
+        can acquire work.  Flag stores are idempotent, so no
+        duplicate-enqueue guards are needed.
+        """
+        nodes = self.nodes
+        n = self.n_nodes
+        in_current = self._in_current
+        in_next = self._in_next
+        for state in nodes:
+            if state.stack or state.inbox:
+                in_current[state.node_id] = True
+        self._sweep_pos = -1
+        self._sched_active = True
+        run_thread = self._run_thread_fast
+        process = self._process_message
+        deliver = self._deliver
+        on_pread = self._on_pread
+        kind_send = MsgKind.SEND
+        kind_reply = MsgKind.REPLY
+        kind_pread = MsgKind.PREAD
+        turns = 0
+        try:
+            while True:
+                i = in_current.index(True)
+                while i != n:
+                    in_current[i] = False
+                    self._sweep_pos = i
+                    state = nodes[i]
+                    stack = state.stack
+                    if stack:
+                        frame, label = stack.pop()
+                        run_thread(state, frame, label)
+                    elif state.inbox:
+                        message = state.inbox.popleft()
+                        # Dispatch the dominant kinds inline; the rest go
+                        # through the full _process_message chain.
+                        kind = message.kind
+                        if kind is kind_send or kind is kind_reply:
+                            deliver(state, message)
+                        elif kind is kind_pread:
+                            on_pread(state, message)
+                        else:
+                            process(state, message)
+                    else:  # pragma: no cover - flagged nodes always have work
+                        i = in_current.index(True, i + 1)
+                        continue
+                    turns += 1
+                    if turns > max_turns:
+                        raise TamError(f"TAM run exceeded {max_turns} turns")
+                    if state.stack or state.inbox:
+                        in_next[i] = True
+                    i = in_current.index(True, i + 1)
+                self._sweep_pos = -1
+                if in_next.index(True) == n:
+                    break
+                # Promote: the next sweep's flags become the current
+                # sweep's (the old current array is all-False again).
+                in_current, in_next = in_next, in_current
+                self._in_current = in_current
+                self._in_next = in_next
+        finally:
+            self._sched_active = False
+            self._sweep_pos = -1
+            for i in range(n):
+                in_current[i] = False
+                in_next[i] = False
+        return turns
 
     def _check_quiescence(self) -> None:
         """Detect computations that stopped with unsatisfied waiters.
@@ -221,6 +332,23 @@ class TamMachine:
     # ------------------------------------------------------------------
     # Thread execution.
     # ------------------------------------------------------------------
+
+    def _run_thread_fast(self, state: _NodeState, frame: Frame, label: str) -> None:
+        thread = frame.compiled.threads.get(label)
+        if thread is None:
+            raise TamError(
+                f"codeblock {frame.codeblock.name!r} has no thread {label!r}"
+            )
+        stats = self.stats
+        stats.threads_run += 1
+        stats.count_instructions(thread.mix)
+        for op in thread.ops:
+            op(state, frame)
+        if not thread.complete:
+            raise TamError(
+                f"thread {label!r} of {frame.codeblock.name!r} fell off its "
+                "end without STOP"
+            )
 
     def _run_thread(self, state: _NodeState, frame: Frame, label: str) -> None:
         self.stats.threads_run += 1
@@ -361,9 +489,17 @@ class TamMachine:
     # ------------------------------------------------------------------
 
     def _post(self, message: TamMessage) -> None:
-        if message.node < 0 or message.node >= self.n_nodes:
-            raise TamError(f"message addressed to unknown node {message.node}")
-        self.nodes[message.node].inbox.append(message)
+        node = message.node
+        if node < 0 or node >= self.n_nodes:
+            raise TamError(f"message addressed to unknown node {node}")
+        self.nodes[node].inbox.append(message)
+        if self._sched_active:
+            # Keep the activity flags in sync: a node the sweep has not
+            # reached yet joins the current sweep, otherwise the next one.
+            if node > self._sweep_pos:
+                self._in_current[node] = True
+            else:
+                self._in_next[node] = True
 
     def _frame(self, state: _NodeState, frame_id: int) -> Frame:
         try:
@@ -387,94 +523,127 @@ class TamMachine:
 
     def _reply(self, reply_to: Tuple[FrameRef, int], values: Tuple) -> None:
         ref, inlet = reply_to
+        # Positional TamMessage: (kind, node, inlet, frame_id, values).
+        self._post(TamMessage(MsgKind.REPLY, ref.node, inlet, ref.frame_id, values))
+
+    def _process_message(self, state: _NodeState, message: TamMessage) -> None:
+        # Identity if-chain ordered by dynamic frequency: enum identity
+        # checks avoid the per-message hash a dict dispatch would pay.
+        kind = message.kind
+        if kind is MsgKind.SEND or kind is MsgKind.REPLY:
+            self._deliver(state, message)
+        elif kind is MsgKind.PREAD:
+            self._on_pread(state, message)
+        elif kind is MsgKind.PWRITE:
+            self._on_pwrite(state, message)
+        elif kind is MsgKind.FALLOC:
+            self._on_falloc(state, message)
+        elif kind is MsgKind.IALLOC:
+            self._on_ialloc(state, message)
+        elif kind is MsgKind.READ:
+            self._on_read(state, message)
+        elif kind is MsgKind.WRITE:
+            self._on_write(state, message)
+        else:  # pragma: no cover - exhaustive over MsgKind
+            raise TamError(f"unimplemented message kind {kind}")
+
+    def _deliver_message(self, state: _NodeState, message: TamMessage) -> None:
+        self._deliver_to_inlet(
+            state, message.frame_id, message.inlet, message.values
+        )
+
+    def _deliver_message_fast(
+        self, state: _NodeState, message: TamMessage
+    ) -> None:
+        frame = state.frames.get(message.frame_id)
+        if frame is None:
+            raise TamError(f"node {state.node_id}: no frame {message.frame_id}")
+        deliver = frame.inlets.get(message.inlet)
+        if deliver is None:
+            raise TamError(
+                f"codeblock {frame.codeblock.name!r} has no inlet "
+                f"{message.inlet}"
+            )
+        deliver(state, frame, message.values)
+
+    def _on_falloc(self, state: _NodeState, message: TamMessage) -> None:
+        frame = self._allocate_frame(state.node_id, message.codeblock)
+        if frame.codeblock.entry is not None:
+            state.stack.append((frame, frame.codeblock.entry))
+        assert message.reply_to is not None
+        self.stats.messages.count_send(1)  # the frame-ref reply is a Send
         self._post(
             TamMessage(
-                MsgKind.REPLY,
-                node=ref.node,
-                frame_id=ref.frame_id,
-                inlet=inlet,
-                values=values,
+                MsgKind.SEND,
+                node=message.reply_to[0].node,
+                frame_id=message.reply_to[0].frame_id,
+                inlet=message.reply_to[1],
+                values=(frame.ref,),
             )
         )
 
-    def _process_message(self, state: _NodeState, message: TamMessage) -> None:
+    def _on_ialloc(self, state: _NodeState, message: TamMessage) -> None:
+        descriptor = state.istructures.allocate(message.index)
+        self.stats.istructures_allocated += 1
+        assert message.reply_to is not None
+        self.stats.messages.count_send(1)
+        self._post(
+            TamMessage(
+                MsgKind.SEND,
+                node=message.reply_to[0].node,
+                frame_id=message.reply_to[0].frame_id,
+                inlet=message.reply_to[1],
+                values=(IStructRef(state.node_id, descriptor),),
+            )
+        )
+
+    def _on_pread(self, state: _NodeState, message: TamMessage) -> None:
         mix = self.stats.messages
-        if message.kind in (MsgKind.SEND, MsgKind.REPLY):
-            self._deliver_to_inlet(
-                state, message.frame_id, message.inlet, message.values
-            )
-        elif message.kind is MsgKind.FALLOC:
-            frame = self._allocate_frame(state.node_id, message.codeblock)
-            if frame.codeblock.entry is not None:
-                state.stack.append((frame, frame.codeblock.entry))
-            assert message.reply_to is not None
-            mix.count_send(1)  # the frame-reference reply is a Send
+        # _encode_reader / _reply inlined: this handler runs once per
+        # IFETCH and the call overhead is measurable.
+        ref, inlet = message.reply_to
+        reader = DeferredReader(
+            (ref.node << _FRAME_ID_BITS) | ref.frame_id, inlet
+        )
+        outcome, value = state.istructures.read(
+            message.descriptor, message.index, reader
+        )
+        if outcome == "full":
+            mix.preads_full += 1
             self._post(
-                TamMessage(
-                    MsgKind.SEND,
-                    node=message.reply_to[0].node,
-                    frame_id=message.reply_to[0].frame_id,
-                    inlet=message.reply_to[1],
-                    values=(frame.ref,),
-                )
+                TamMessage(MsgKind.REPLY, ref.node, inlet, ref.frame_id, (value,))
             )
-        elif message.kind is MsgKind.IALLOC:
-            descriptor = state.istructures.allocate(message.index)
-            self.stats.istructures_allocated += 1
-            assert message.reply_to is not None
-            mix.count_send(1)
-            self._post(
-                TamMessage(
-                    MsgKind.SEND,
-                    node=message.reply_to[0].node,
-                    frame_id=message.reply_to[0].frame_id,
-                    inlet=message.reply_to[1],
-                    values=(IStructRef(state.node_id, descriptor),),
-                )
-            )
-        elif message.kind is MsgKind.PREAD:
-            assert message.reply_to is not None
-            reader = _encode_reader(message.reply_to)
-            outcome, value = state.istructures.read(
-                message.descriptor, message.index, reader
-            )
-            if outcome == "full":
-                mix.preads_full += 1
-                self._reply(message.reply_to, (value,))
-            elif outcome == "empty":
-                mix.preads_empty += 1
-            else:
-                mix.preads_deferred += 1
-        elif message.kind is MsgKind.PWRITE:
-            outcome, satisfied = state.istructures.write(
-                message.descriptor, message.index, message.values[0]
-            )
-            if outcome == "empty":
-                mix.pwrites_empty += 1
-            else:
-                mix.pwrites_deferred += 1
-                mix.deferred_readers_satisfied += len(satisfied)
-            for reader in satisfied:
-                self._reply(_decode_reader(reader), (message.values[0],))
-        elif message.kind is MsgKind.READ:
-            mix.reads += 1
-            assert message.reply_to is not None
-            self._reply(
-                message.reply_to, (state.memory.load(message.address),)
-            )
-        elif message.kind is MsgKind.WRITE:
-            mix.writes += 1
-            state.memory.store(message.address, int(message.values[0]))
-        else:  # pragma: no cover - exhaustive over MsgKind
-            raise TamError(f"unimplemented message kind {message.kind}")
+        elif outcome == "empty":
+            mix.preads_empty += 1
+        else:
+            mix.preads_deferred += 1
+
+    def _on_pwrite(self, state: _NodeState, message: TamMessage) -> None:
+        mix = self.stats.messages
+        outcome, satisfied = state.istructures.write(
+            message.descriptor, message.index, message.values[0]
+        )
+        if outcome == "empty":
+            mix.pwrites_empty += 1
+        else:
+            mix.pwrites_deferred += 1
+            mix.deferred_readers_satisfied += len(satisfied)
+        for reader in satisfied:
+            self._reply(_decode_reader(reader), (message.values[0],))
+
+    def _on_read(self, state: _NodeState, message: TamMessage) -> None:
+        self.stats.messages.reads += 1
+        assert message.reply_to is not None
+        self._reply(message.reply_to, (state.memory.load(message.address),))
+
+    def _on_write(self, state: _NodeState, message: TamMessage) -> None:
+        self.stats.messages.writes += 1
+        state.memory.store(message.address, int(message.values[0]))
 
 
 def _encode_reader(reply_to: Tuple[FrameRef, int]) -> DeferredReader:
     ref, inlet = reply_to
-    return DeferredReader(
-        frame_pointer=(ref.node << _FRAME_ID_BITS) | ref.frame_id,
-        instruction_pointer=inlet,
-    )
+    return DeferredReader((ref.node << _FRAME_ID_BITS) | ref.frame_id, inlet)
 
 
 def _decode_reader(reader: DeferredReader) -> Tuple[FrameRef, int]:
@@ -484,34 +653,7 @@ def _decode_reader(reader: DeferredReader) -> Tuple[FrameRef, int]:
 
 
 def _apply(op: Op, a, b):
-    if op is Op.IADD:
-        return int(a) + int(b)
-    if op is Op.ISUB:
-        return int(a) - int(b)
-    if op is Op.IMUL:
-        return int(a) * int(b)
-    if op is Op.IDIV:
-        return int(a) // int(b)
-    if op is Op.FADD:
-        return float(a) + float(b)
-    if op is Op.FSUB:
-        return float(a) - float(b)
-    if op is Op.FMUL:
-        return float(a) * float(b)
-    if op is Op.FDIV:
-        return float(a) / float(b)
-    if op is Op.LT:
-        return 1 if a < b else 0
-    if op is Op.LE:
-        return 1 if a <= b else 0
-    if op is Op.EQ:
-        return 1 if a == b else 0
-    if op is Op.AND:
-        return 1 if (a and b) else 0
-    if op is Op.OR:
-        return 1 if (a or b) else 0
-    if op is Op.MIN:
-        return a if a < b else b
-    if op is Op.MAX:
-        return a if a > b else b
-    raise TamError(f"unimplemented op {op}")
+    fn = OP_FUNCS.get(op)
+    if fn is None:
+        raise TamError(f"unimplemented op {op}")
+    return fn(a, b)

@@ -1,0 +1,107 @@
+"""Opt-in lightweight profiling: named timing spans and counters.
+
+The evaluation harnesses wrap coarse units of work (one TAM program run,
+one report section) in :meth:`Profiler.span` and record throughput
+counters with :meth:`Profiler.add`.  Everything is a no-op until the
+profiler is enabled (``python -m repro --profile``), so the interpreter
+hot loop pays nothing in normal runs.
+
+Usage::
+
+    from repro.utils.profiling import PROFILER
+
+    with PROFILER.span("tam.run"):
+        ...
+    PROFILER.add("tam.turns", turns)
+    print(PROFILER.report())
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+
+class Profiler:
+    """Accumulates span timings and counters; disabled by default."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        # name -> [total_seconds, calls]
+        self._spans: Dict[str, List[float]] = {}
+        self._counters: Dict[str, float] = {}
+
+    def enable(self, on: bool = True) -> None:
+        self.enabled = on
+
+    def reset(self) -> None:
+        self._spans.clear()
+        self._counters.clear()
+
+    # ------------------------------------------------------------------
+    # Recording.
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a block of work under ``name``; nested spans are fine."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            entry = self._spans.get(name)
+            if entry is None:
+                self._spans[name] = [elapsed, 1]
+            else:
+                entry[0] += elapsed
+                entry[1] += 1
+
+    def add(self, name: str, amount: float = 1) -> None:
+        """Bump a named counter (e.g. turns executed, messages sent)."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+
+    def spans(self) -> Dict[str, Dict[str, float]]:
+        """Span data as plain dicts (for JSON export)."""
+        return {
+            name: {"seconds": total, "calls": calls}
+            for name, (total, calls) in self._spans.items()
+        }
+
+    def counters(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    def report(self) -> str:
+        """A readable summary: spans by total time, then counters."""
+        lines = ["profile: timing spans"]
+        if not self._spans:
+            lines.append("  (none recorded)")
+        for name, (total, calls) in sorted(
+            self._spans.items(), key=lambda item: -item[1][0]
+        ):
+            mean = total / calls if calls else 0.0
+            lines.append(
+                f"  {name:<32} {total:10.4f} s  x{calls:<6d} "
+                f"(avg {mean * 1000:9.3f} ms)"
+            )
+        lines.append("profile: counters")
+        if not self._counters:
+            lines.append("  (none recorded)")
+        for name, value in sorted(self._counters.items()):
+            rendered = f"{value:,.0f}" if value == int(value) else f"{value:,.3f}"
+            lines.append(f"  {name:<32} {rendered:>14}")
+        return "\n".join(lines)
+
+
+#: The process-wide profiler every harness records into.
+PROFILER = Profiler()
