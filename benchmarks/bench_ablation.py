@@ -1,6 +1,6 @@
 """Per-optimization ablation (extension study; see DESIGN.md)."""
 
-from repro.eval.ablation import render_ablation, run_ablation
+from repro.eval import render_ablation, run_ablation
 
 
 def test_ablation(benchmark, matmul_stats):

@@ -1,6 +1,6 @@
 """Regenerate Figure 12, Gamteb bars (paper Section 4.2.3)."""
 
-from repro.eval.figure12 import headline_metrics, render_figure, run_program
+from repro.eval import headline_metrics, render_figure, run_program
 from repro.tam.costmap import breakdown_all_models
 
 from conftest import GAMTEB_PHOTONS, NODES

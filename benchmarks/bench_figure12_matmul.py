@@ -4,7 +4,7 @@ The benchmark times the TAM execution (the expensive part) and the
 pricing; it prints the stacked bars and headline metrics.
 """
 
-from repro.eval.figure12 import headline_metrics, render_figure, run_program
+from repro.eval import headline_metrics, render_figure, run_program
 from repro.tam.costmap import breakdown_all_models
 
 from conftest import MATMUL_N, NODES

@@ -6,7 +6,7 @@ traffic, no presence-bit operations — and shows which Figure 12 claims
 are mix-dependent (see EXPERIMENTS.md).
 """
 
-from repro.eval.figure12 import headline_metrics, render_figure, run_program
+from repro.eval import headline_metrics, render_figure, run_program
 from repro.tam.costmap import breakdown_all_models
 
 

@@ -1,6 +1,6 @@
 """Grain-size sensitivity study (extension; paper Section 4.2.2 scoping)."""
 
-from repro.eval.grain import crossover_grain, render_grain, sweep
+from repro.eval import crossover_grain, grain_sweep as sweep, render_grain
 
 
 def test_grain_sweep(benchmark):

@@ -1,6 +1,6 @@
 """Regenerate the off-chip latency sensitivity study (Section 4.2.3 text)."""
 
-from repro.eval.latency import relative_overheads, render_sweep, sweep
+from repro.eval import latency_sweep as sweep, relative_overheads, render_sweep
 
 
 def test_latency_sweep(benchmark, matmul_stats):

@@ -17,7 +17,10 @@ or through pytest-benchmark (fast path only, statistical timing)::
 """
 
 import json
+import os
+import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -74,8 +77,53 @@ def measure(repeats: int = 3) -> dict:
     return report
 
 
+SECTIONS_JOBS = 4
+
+
+def _time_sections(*extra_args: str) -> float:
+    """One cold ``python -m repro`` run; returns wall-clock seconds.
+
+    Each run gets its own scratch artifact directory so the serial and
+    parallel runs are comparable (both start with an empty run cache).
+    """
+    root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(root / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_RUNCACHE_DIR", None)
+    with tempfile.TemporaryDirectory(prefix="bench-sections-") as scratch:
+        start = time.perf_counter()
+        subprocess.run(
+            [sys.executable, "-m", "repro", "--json-dir", scratch, *extra_args],
+            check=True,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            cwd=root,
+        )
+        return time.perf_counter() - start
+
+
+def measure_sections() -> dict:
+    """Serial versus ``--jobs`` wall clock for the full section grid.
+
+    On a single-core box (CI containers included) the parallel fan-out
+    cannot win — the record carries ``cpu_count`` so the ratio is
+    interpretable wherever it was produced.
+    """
+    serial = _time_sections()
+    parallel = _time_sections("--jobs", str(SECTIONS_JOBS))
+    return {
+        "jobs": SECTIONS_JOBS,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial, 4),
+        "jobs_seconds": round(parallel, 4),
+        "speedup": round(serial / parallel, 2),
+    }
+
+
 def main() -> int:
     report = measure()
+    report["sections_wall_clock"] = measure_sections()
     RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {RESULT_PATH}")
     header = f"{'program':<10} {'turns':>8} {'fast':>9} {'reference':>10} {'speedup':>8} {'turns/s':>10}"
@@ -86,6 +134,12 @@ def main() -> int:
             f"{row['reference_seconds']:>9.3f}s {row['speedup']:>7.2f}x "
             f"{row['fast_turns_per_sec']:>10,}"
         )
+    sections = report["sections_wall_clock"]
+    print(
+        f"sections   serial {sections['serial_seconds']:.3f}s  "
+        f"--jobs {sections['jobs']} {sections['jobs_seconds']:.3f}s  "
+        f"{sections['speedup']:.2f}x  ({sections['cpu_count']} cpus)"
+    )
     return 0
 
 

@@ -1,6 +1,6 @@
 """The Section 1 survey comparison (extension study)."""
 
-from repro.eval.survey import render_survey
+from repro.eval import render_survey
 from repro.survey.models import SURVEY
 
 

@@ -5,7 +5,7 @@ cost of running all 100+ handler kernels across the six models and prints
 the measured-versus-paper table.
 """
 
-from repro.eval.table1 import collect_rows, render_report
+from repro.eval import collect_rows, render_report
 from repro.kernels import expected as X
 
 
@@ -30,7 +30,7 @@ def test_table1_exact_row_count(benchmark):
 
 def test_roundtrip_costs(benchmark):
     """End-to-end operation costs derived from Table 1 (see EXPERIMENTS.md)."""
-    from repro.eval.roundtrip import collect, render_roundtrips
+    from repro.eval import collect_roundtrips as collect, render_roundtrips
 
     rows = benchmark(collect)
     print()
@@ -42,7 +42,7 @@ def test_roundtrip_costs(benchmark):
 
 def test_service_loop_throughput(benchmark):
     """Steady-state throughput from the composed loop (see EXPERIMENTS.md)."""
-    from repro.eval.throughput import collect, render_throughput
+    from repro.eval import collect_throughput as collect, render_throughput
 
     rows = benchmark(collect)
     print()

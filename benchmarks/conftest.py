@@ -4,11 +4,16 @@ Each benchmark regenerates one of the paper's evaluation artifacts
 (Table 1, the two Figure 12 bars, the latency sweep) and prints it, so
 ``pytest benchmarks/ --benchmark-only -s`` reproduces the whole evaluation
 section in one run.
+
+Program executions go through the shared run cache
+(:mod:`repro.exp.runcache`): the session-scoped fixtures below and any
+benchmark calling :func:`repro.eval.run_program` with the same
+``(program, size, nodes)`` share one TAM execution per process.
 """
 
 import pytest
 
-from repro.eval.figure12 import run_program
+from repro.eval import run_program
 
 MATMUL_N = 40
 GAMTEB_PHOTONS = 64

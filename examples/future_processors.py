@@ -11,8 +11,8 @@ against the basic *on-chip* model.
 Run:  python examples/future_processors.py
 """
 
-from repro.eval.figure12 import run_program
-from repro.eval.latency import cost_table_at_latency, render_sweep, sweep
+from repro.eval import run_program
+from repro.eval import cost_table_at_latency, latency_sweep as sweep, render_sweep
 from repro.impls.base import BASIC_ON_CHIP, OPTIMIZED_ON_CHIP
 from repro.tam.costmap import breakdown
 

@@ -2,24 +2,39 @@
 
 ``python -m repro`` regenerates every table and figure of the paper plus
 the extension studies; individual harnesses remain available as
-``python -m repro.eval.<name>``.
+``python -m repro.eval.<name>``.  The driver is a thin loop over the
+experiment registry (:mod:`repro.exp`): each section is an
+:class:`~repro.exp.spec.ExperimentSpec`, shared TAM program runs are
+served by the run cache, and every section writes a versioned JSON
+artifact next to its text report.
 
 Options::
 
-    python -m repro                 # default scales (fast)
-    python -m repro --paper-scale   # matmul 100x100, gamteb 16
-    python -m repro --profile       # print timing spans and counters
+    python -m repro                   # default scales (fast)
+    python -m repro --paper-scale     # matmul 100x100, gamteb 16
+    python -m repro --only figure12   # a subset of sections
+    python -m repro --jobs 4          # fan sections out across processes
+    python -m repro --json-dir out/   # artifact directory (default results/)
+    python -m repro --profile         # print timing spans and counters
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
+from repro.exp import registry
+from repro.exp.artifacts import write_artifact
+from repro.exp.runner import iter_experiments
+from repro.exp.spec import EvalOptions
 from repro.utils.profiling import PROFILER
 
 
 def main(argv=None) -> int:
+    registry.load_all()
+    section_names = registry.names()
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -41,22 +56,56 @@ def main(argv=None) -> int:
         "--skip",
         nargs="*",
         default=[],
-        choices=[
-            "table1",
-            "roundtrip",
-            "throughput",
-            "figure12",
-            "latency",
-            "ablation",
-            "grain",
-            "survey",
-        ],
+        choices=section_names,
         help="sections to skip",
     )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        choices=section_names,
+        help="run just these sections (still in report order)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the section fan-out (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--json-dir",
+        type=Path,
+        default=Path("results"),
+        help="directory for the JSON artifacts (default: results/)",
+    )
+    parser.add_argument(
+        "--no-json",
+        action="store_true",
+        help="skip writing JSON artifacts",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help=(
+            "persistent on-disk run cache for TAM executions "
+            "(default: in-process only; --jobs uses a scratch directory)"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
 
     if args.profile:
         PROFILER.enable()
+
+    selected = [
+        name
+        for name in section_names
+        if (args.only is None or name in args.only) and name not in args.skip
+    ]
+    specs = [registry.get(name) for name in selected]
+    options = EvalOptions(paper_scale=args.paper_scale)
 
     def banner(title: str) -> None:
         print()
@@ -64,77 +113,15 @@ def main(argv=None) -> int:
         print(f"# {title}")
         print("#" * 72)
 
-    def section_table1() -> None:
-        banner("Table 1 (Section 4.1)")
-        from repro.eval.table1 import render_report
-
-        print(render_report())
-
-    def section_roundtrip() -> None:
-        banner("End-to-end operation costs (derived from Table 1)")
-        from repro.eval.roundtrip import render_roundtrips
-
-        print(render_roundtrips())
-
-    def section_throughput() -> None:
-        banner("Steady-state service-loop throughput (derived)")
-        from repro.eval.throughput import render_throughput
-
-        print(render_throughput())
-
-    def section_figure12() -> None:
-        banner("Figure 12 (Section 4.2.3)")
-        from repro.eval.figure12 import PAPER_SIZES, render_figure, run_program
-
-        for program in ("matmul", "gamteb"):
-            size = PAPER_SIZES[program] if args.paper_scale else None
-            stats = run_program(program, size=size)
-            print(render_figure(program, stats))
-            print()
-
-    def section_latency() -> None:
-        banner("Off-chip latency sensitivity (Section 4.2.3)")
-        from repro.eval.figure12 import run_program
-        from repro.eval.latency import render_sweep, sweep
-
-        stats = run_program("matmul", size=100 if args.paper_scale else 24)
-        print(render_sweep("matmul", sweep(stats)))
-
-    def section_ablation() -> None:
-        banner("Per-optimization ablation (extension)")
-        from repro.eval.ablation import render_ablation, run_ablation
-        from repro.eval.figure12 import run_program
-
-        stats = run_program("matmul", size=24)
-        print(render_ablation("matmul", run_ablation(stats)))
-
-    def section_grain() -> None:
-        banner("Grain-size sensitivity (extension)")
-        from repro.eval.grain import render_grain, sweep as grain_sweep
-
-        print(render_grain(grain_sweep()))
-
-    def section_survey() -> None:
-        banner("Section 1 survey (extension)")
-        from repro.eval.survey import render_survey
-
-        print(render_survey())
-
-    sections = [
-        ("table1", section_table1),
-        ("roundtrip", section_roundtrip),
-        ("throughput", section_throughput),
-        ("figure12", section_figure12),
-        ("latency", section_latency),
-        ("ablation", section_ablation),
-        ("grain", section_grain),
-        ("survey", section_survey),
-    ]
-    for name, run_section in sections:
-        if name in args.skip:
-            continue
-        with PROFILER.span(f"section.{name}"):
-            run_section()
+    outcomes = iter_experiments(
+        specs, options, jobs=args.jobs, cache_dir=args.cache_dir
+    )
+    for outcome in outcomes:
+        banner(outcome.title)
+        print(outcome.text)
+        if not args.no_json:
+            path = write_artifact(args.json_dir, outcome.artifact)
+            print(f"[artifact] {path}")
 
     if args.profile:
         print()

@@ -25,6 +25,9 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List
 
+from repro.exp.registry import register
+from repro.exp.runcache import resolve_key, run_program
+from repro.exp.spec import ExperimentSpec
 from repro.impls.base import ALL_MODELS, Architecture, InterfaceModel
 from repro.tam.costmap import (
     CycleBreakdown,
@@ -114,6 +117,49 @@ def render_ablation(program: str, rows: List[AblationRow]) -> str:
     )
 
 
+def _exp_compute(params: dict) -> dict:
+    stats = run_program(
+        params["program"], size=params["size"], nodes=params["nodes"]
+    )
+    return {"rows": run_ablation(stats)}
+
+
+def _exp_artifact(params: dict, payload: dict) -> dict:
+    return {
+        "rows": [
+            {
+                "placement": row.placement,
+                "variant": row.variant,
+                "compute": row.result.compute,
+                "dispatch": row.result.dispatch,
+                "communication": row.result.communication,
+                "overhead": row.result.overhead,
+                "total": row.result.total,
+            }
+            for row in payload["rows"]
+        ],
+        "variants": list(ABLATIONS),
+    }
+
+
+register(
+    ExperimentSpec(
+        name="ablation",
+        title="Per-optimization ablation (extension)",
+        produces=("rows", "variants"),
+        params=lambda options: {"program": "matmul", "size": 24, "nodes": 16},
+        programs=lambda params: (
+            resolve_key(params["program"], params["size"], params["nodes"]),
+        ),
+        compute=_exp_compute,
+        render=lambda params, payload: render_ablation(
+            params["program"], payload["rows"]
+        ),
+        artifact=_exp_artifact,
+    )
+)
+
+
 def main(argv: List[str] | None = None) -> None:  # pragma: no cover - CLI
     import argparse
 
@@ -121,8 +167,6 @@ def main(argv: List[str] | None = None) -> None:  # pragma: no cover - CLI
     parser.add_argument("program", nargs="?", default="matmul")
     parser.add_argument("--size", type=int, default=None)
     args = parser.parse_args(argv)
-    from repro.eval.figure12 import run_program
-
     stats = run_program(args.program, size=args.size)
     print(render_ablation(args.program, run_ablation(stats)))
 

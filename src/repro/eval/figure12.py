@@ -25,37 +25,29 @@ import argparse
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.errors import EvaluationError
+from repro.exp.artifacts import to_jsonable
+from repro.exp.registry import register
+from repro.exp.runcache import (
+    DEFAULT_SIZES,
+    PAPER_SIZES,
+    resolve_key,
+    run_program,
+)
+from repro.exp.spec import ExperimentSpec
 from repro.impls.base import ALL_MODELS
 from repro.tam.costmap import CycleBreakdown, breakdown_all_models
 from repro.tam.stats import TamStats
 from repro.utils.profiling import PROFILER
 from repro.utils.tables import render_bar_chart, render_table
 
-DEFAULT_SIZES = {"matmul": 40, "gamteb": 64, "queens": 6}
-PAPER_SIZES = {"matmul": 100, "gamteb": 16, "queens": 6}
-
-
-def run_program(name: str, size: int | None = None, nodes: int = 16) -> TamStats:
-    """Execute one evaluation program and return its statistics."""
-    with PROFILER.span(f"program.{name}"):
-        if name == "matmul":
-            from repro.programs.matmul import run_matmul
-
-            return run_matmul(n=size or DEFAULT_SIZES["matmul"], nodes=nodes).stats
-        if name == "gamteb":
-            from repro.programs.gamteb import run_gamteb
-
-            return run_gamteb(
-                n_photons=size or DEFAULT_SIZES["gamteb"], nodes=nodes
-            ).stats
-        if name == "queens":
-            from repro.programs.queens import run_queens
-
-            return run_queens(n=size or DEFAULT_SIZES["queens"], nodes=nodes).stats
-    raise EvaluationError(
-        f"unknown program {name!r}; use 'matmul', 'gamteb', or 'queens'"
-    )
+__all__ = [
+    "DEFAULT_SIZES",
+    "PAPER_SIZES",
+    "run_program",
+    "HeadlineMetrics",
+    "headline_metrics",
+    "render_figure",
+]
 
 
 @dataclass
@@ -145,6 +137,85 @@ def render_figure(
         ]
     )
     return f"{chart}\n\n{table}\n\n{summary}"
+
+
+# ---------------------------------------------------------------------------
+# Experiment registration.
+# ---------------------------------------------------------------------------
+
+
+def _exp_params(options) -> dict:
+    return {
+        "programs": ("matmul", "gamteb"),
+        "paper_scale": options.paper_scale,
+        "nodes": 16,
+        "source": "measured",
+    }
+
+
+def _exp_programs(params: dict):
+    return tuple(
+        resolve_key(
+            program,
+            PAPER_SIZES[program] if params["paper_scale"] else None,
+            params["nodes"],
+        )
+        for program in params["programs"]
+    )
+
+
+def _exp_compute(params: dict) -> dict:
+    stats = {}
+    for program in params["programs"]:
+        size = PAPER_SIZES[program] if params["paper_scale"] else None
+        stats[program] = run_program(program, size=size, nodes=params["nodes"])
+    return {"stats": stats}
+
+
+def _exp_render(params: dict, payload: dict) -> str:
+    figures = [
+        render_figure(program, payload["stats"][program], source=params["source"])
+        for program in params["programs"]
+    ]
+    return "\n\n".join(figures) + "\n"
+
+
+def _exp_artifact(params: dict, payload: dict) -> dict:
+    figures = {}
+    for program, stats in payload["stats"].items():
+        breakdowns = breakdown_all_models(stats, source=params["source"])
+        metrics = headline_metrics(breakdowns)
+        figures[program] = {
+            "breakdowns": [
+                {
+                    **to_jsonable(b),
+                    "total": b.total,
+                    "overhead": b.overhead,
+                    "overhead_fraction": b.overhead_fraction,
+                }
+                for b in breakdowns
+            ],
+            "headline": {
+                **to_jsonable(metrics),
+                "optimized_always_beats_basic": metrics.optimized_always_beats_basic,
+            },
+            "stats": stats.as_dict(),
+        }
+    return {"figures": figures}
+
+
+register(
+    ExperimentSpec(
+        name="figure12",
+        title="Figure 12 (Section 4.2.3)",
+        produces=("figures",),
+        params=_exp_params,
+        programs=_exp_programs,
+        compute=_exp_compute,
+        render=_exp_render,
+        artifact=_exp_artifact,
+    )
+)
 
 
 def main(argv: List[str] | None = None) -> None:  # pragma: no cover - CLI

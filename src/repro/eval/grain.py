@@ -18,6 +18,9 @@ import argparse
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
+from repro.exp.artifacts import to_jsonable
+from repro.exp.registry import register
+from repro.exp.spec import ExperimentSpec
 from repro.impls.base import BASIC_OFF_CHIP, OPTIMIZED_REGISTER
 from repro.programs.microbench import run_grain_sweep_point
 from repro.tam.costmap import breakdown
@@ -94,6 +97,22 @@ def render_grain(results: List[GrainResult]) -> str:
         "As the paper argues (§4.2.2), the absolute savings persist at any "
         "grain; their share of execution time shrinks as messages amortise."
     )
+
+
+register(
+    ExperimentSpec(
+        name="grain",
+        title="Grain-size sensitivity (extension)",
+        produces=("results", "crossover"),
+        params=lambda options: {"flops": tuple(DEFAULT_FLOPS)},
+        compute=lambda params: {"results": sweep(params["flops"])},
+        render=lambda params, payload: render_grain(payload["results"]),
+        artifact=lambda params, payload: {
+            "results": to_jsonable(payload["results"]),
+            "crossover": crossover_grain(payload["results"]),
+        },
+    )
+)
 
 
 def main(argv: List[str] | None = None) -> None:  # pragma: no cover - CLI

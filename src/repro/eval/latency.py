@@ -21,6 +21,10 @@ import argparse
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
+from repro.exp.artifacts import to_jsonable
+from repro.exp.registry import register
+from repro.exp.runcache import resolve_key, run_program
+from repro.exp.spec import ExperimentSpec
 from repro.impls.base import OPTIMIZED_OFF_CHIP
 from repro.kernels.harness import (
     measure_dispatch,
@@ -120,6 +124,51 @@ def render_sweep(program: str, points: List[LatencyPoint]) -> str:
     return table + note
 
 
+def _exp_params(options) -> dict:
+    return {
+        "program": "matmul",
+        "size": 100 if options.paper_scale else 24,
+        "nodes": 16,
+        "latencies": (2, 4, 6, 8, 12, 16),
+    }
+
+
+def _exp_compute(params: dict) -> dict:
+    stats = run_program(
+        params["program"], size=params["size"], nodes=params["nodes"]
+    )
+    return {"points": sweep(stats, params["latencies"])}
+
+
+def _exp_artifact(params: dict, payload: dict) -> dict:
+    points = payload["points"]
+    return {
+        "points": [
+            {**to_jsonable(p), "overhead": p.overhead} for p in points
+        ],
+        "relative_overheads": relative_overheads(points),
+        "baseline_dead_cycles": BASELINE_DEAD_CYCLES,
+    }
+
+
+register(
+    ExperimentSpec(
+        name="latency",
+        title="Off-chip latency sensitivity (Section 4.2.3)",
+        produces=("points", "relative_overheads"),
+        params=_exp_params,
+        programs=lambda params: (
+            resolve_key(params["program"], params["size"], params["nodes"]),
+        ),
+        compute=_exp_compute,
+        render=lambda params, payload: render_sweep(
+            params["program"], payload["points"]
+        ),
+        artifact=_exp_artifact,
+    )
+)
+
+
 def main(argv: List[str] | None = None) -> None:  # pragma: no cover - CLI
     parser = argparse.ArgumentParser(description="Off-chip latency sweep")
     parser.add_argument("program", nargs="?", default="matmul")
@@ -128,8 +177,6 @@ def main(argv: List[str] | None = None) -> None:  # pragma: no cover - CLI
         "--latencies", type=int, nargs="+", default=[2, 4, 6, 8, 12, 16]
     )
     args = parser.parse_args(argv)
-    from repro.eval.figure12 import run_program
-
     stats = run_program(args.program, size=args.size)
     print(render_sweep(args.program, sweep(stats, args.latencies)))
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from repro.exp.registry import register
+from repro.exp.spec import ExperimentSpec
 from repro.impls.base import ALL_MODELS
 from repro.tam.costmap import MessageCostTable, cost_table
 from repro.utils.tables import render_table
@@ -97,6 +99,34 @@ def render_roundtrips(rows: List[RoundtripRow] | None = None, source: str = "mea
         body,
         title=f"End-to-end operation cost in cycles (Table 1 prices: {source})",
     )
+
+
+def _exp_artifact(params: dict, payload: dict) -> dict:
+    return {
+        "operations": [
+            {
+                "operation": row.operation,
+                "cycles": dict(row.cycles),
+                "reduction_basic_offchip_vs_optimized_register": row.reduction,
+            }
+            for row in payload["rows"]
+        ]
+    }
+
+
+register(
+    ExperimentSpec(
+        name="roundtrip",
+        title="End-to-end operation costs (derived from Table 1)",
+        produces=("operations",),
+        params=lambda options: {"source": "measured"},
+        compute=lambda params: {"rows": collect(params["source"])},
+        render=lambda params, payload: render_roundtrips(
+            payload["rows"], source=params["source"]
+        ),
+        artifact=_exp_artifact,
+    )
+)
 
 
 def main(argv=None) -> None:  # pragma: no cover - CLI

@@ -15,15 +15,25 @@ from __future__ import annotations
 import argparse
 from typing import List
 
+from repro.exp.registry import register
+from repro.exp.spec import ExperimentSpec
 from repro.impls.base import BASIC_OFF_CHIP, OPTIMIZED_REGISTER
 from repro.kernels.harness import measure_dispatch, measure_processing, measure_sending
 from repro.survey.models import (
     DEFAULT_CLOCK_MHZ,
     SURVEY,
-    SurveyInterface,
     survey_principles_satisfied,
 )
 from repro.utils.tables import render_table
+
+SURVEY_COLUMNS = (
+    "interface",
+    "category",
+    "overhead_us",
+    "cycles",
+    "principles",
+    "source",
+)
 
 
 def this_work_rows(clock_mhz: float) -> List[List[object]]:
@@ -51,7 +61,8 @@ def this_work_rows(clock_mhz: float) -> List[List[object]]:
     return rows
 
 
-def render_survey(clock_mhz: float = DEFAULT_CLOCK_MHZ) -> str:
+def collect_survey(clock_mhz: float = DEFAULT_CLOCK_MHZ) -> List[List[object]]:
+    """Every survey row plus this work's measured rows, slowest first."""
     body: List[List[object]] = []
     for interface in sorted(SURVEY, key=lambda i: -i.cycles(clock_mhz)):
         cycles = interface.cycles(clock_mhz)
@@ -66,6 +77,14 @@ def render_survey(clock_mhz: float = DEFAULT_CLOCK_MHZ) -> str:
             ]
         )
     body.extend(this_work_rows(clock_mhz))
+    return body
+
+
+def render_survey(
+    clock_mhz: float = DEFAULT_CLOCK_MHZ,
+    rows: List[List[object]] | None = None,
+) -> str:
+    body = rows if rows is not None else collect_survey(clock_mhz)
     return render_table(
         [
             "interface",
@@ -78,6 +97,26 @@ def render_survey(clock_mhz: float = DEFAULT_CLOCK_MHZ) -> str:
         body,
         title="Section 1 survey: per-message software overhead",
     )
+
+
+register(
+    ExperimentSpec(
+        name="survey",
+        title="Section 1 survey (extension)",
+        produces=("rows", "columns"),
+        params=lambda options: {"clock_mhz": DEFAULT_CLOCK_MHZ},
+        compute=lambda params: {"rows": collect_survey(params["clock_mhz"])},
+        render=lambda params, payload: render_survey(
+            params["clock_mhz"], rows=payload["rows"]
+        ),
+        artifact=lambda params, payload: {
+            "rows": [
+                dict(zip(SURVEY_COLUMNS, row)) for row in payload["rows"]
+            ],
+            "columns": list(SURVEY_COLUMNS),
+        },
+    )
+)
 
 
 def main(argv: List[str] | None = None) -> None:  # pragma: no cover - CLI

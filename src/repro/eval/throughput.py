@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+from repro.exp.registry import register
+from repro.exp.spec import ExperimentSpec
 from repro.impls.base import ALL_MODELS
 from repro.kernels.loop import measure_stream
 from repro.utils.tables import render_table
@@ -86,6 +88,37 @@ def render_throughput(rows: List[ThroughputRow] | None = None) -> str:
         f"{slowest.cycles_per_message / fastest.cycles_per_message:.1f}x the "
         f"rate of {slowest.model_key}."
     )
+
+
+def _exp_artifact(params: dict, payload: dict) -> dict:
+    return {
+        "models": [
+            {
+                "model": row.model_key,
+                "cycles": row.cycles,
+                "handled": row.handled,
+                "cycles_per_message": row.cycles_per_message,
+                "messages_per_second": row.messages_per_second,
+            }
+            for row in payload["rows"]
+        ]
+    }
+
+
+register(
+    ExperimentSpec(
+        name="throughput",
+        title="Steady-state service-loop throughput (derived)",
+        produces=("models",),
+        params=lambda options: {
+            "stream": tuple(STANDARD_STREAM),
+            "clock_mhz": CLOCK_MHZ,
+        },
+        compute=lambda params: {"rows": collect(params["stream"])},
+        render=lambda params, payload: render_throughput(payload["rows"]),
+        artifact=_exp_artifact,
+    )
+)
 
 
 def main(argv=None) -> None:  # pragma: no cover - CLI

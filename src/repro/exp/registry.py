@@ -1,0 +1,77 @@
+"""The experiment registry: evaluation studies as data, not scripts.
+
+Each ``repro.eval`` module registers its :class:`ExperimentSpec` at
+import time; :func:`load_all` imports the canonical module list so the
+registry is populated in the paper's section order.  ``python -m repro``
+then becomes a thin driver: select names, hand the specs to the runner.
+Adding a new study to the evaluation grid is one module with one
+``register()`` call — no new script, no new CLI.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.errors import EvaluationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exp.spec import ExperimentSpec
+
+#: Evaluation modules in report order; imports populate the registry.
+EVAL_MODULES = (
+    "table1",
+    "roundtrip",
+    "throughput",
+    "figure12",
+    "latency",
+    "ablation",
+    "grain",
+    "survey",
+)
+
+_REGISTRY: Dict[str, "ExperimentSpec"] = {}
+
+
+def register(spec: "ExperimentSpec") -> "ExperimentSpec":
+    """Add ``spec`` to the registry; usable as a plain call or decorator.
+
+    Re-registering the same name is allowed (module reloads) and simply
+    replaces the entry; registration order is preserved for the first
+    occurrence so driver output stays deterministic.
+    """
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def load_all() -> None:
+    """Import every evaluation module, populating the registry."""
+    for module in EVAL_MODULES:
+        importlib.import_module(f"repro.eval.{module}")
+
+
+def _canonical_order(name: str) -> tuple:
+    """Report order: the paper's section sequence, then registration order."""
+    try:
+        return (0, EVAL_MODULES.index(name))
+    except ValueError:
+        return (1, list(_REGISTRY).index(name))
+
+
+def names() -> List[str]:
+    """Registered experiment names, in report order."""
+    return sorted(_REGISTRY, key=_canonical_order)
+
+
+def get(name: str) -> "ExperimentSpec":
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise EvaluationError(
+            f"unknown experiment {name!r}; registered: {', '.join(_REGISTRY) or 'none'}"
+        ) from None
+
+
+def all_specs() -> List["ExperimentSpec"]:
+    """Every registered spec, in report order."""
+    return [_REGISTRY[name] for name in names()]

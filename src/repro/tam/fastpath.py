@@ -53,7 +53,6 @@ from repro.tam.instructions import (
     ResetInstr,
     SelfInstr,
     SendInstr,
-    StopInstr,
     SwitchInstr,
     WriteInstr,
 )

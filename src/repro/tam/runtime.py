@@ -32,7 +32,7 @@ produce field-for-field identical :class:`~repro.tam.stats.TamStats`
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.errors import DeadlockError, TamError
 from repro.node.istructure import DeferredReader, IStructureMemory
@@ -49,7 +49,6 @@ from repro.tam.instructions import (
     Imm,
     Instr,
     IstoreInstr,
-    Kind,
     MovInstr,
     Op,
     OpInstr,

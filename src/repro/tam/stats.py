@@ -129,3 +129,27 @@ class TamStats:
         """The paper quotes ~3 for its matrix multiply."""
         messages = self.messages.total_messages
         return self.flops() / messages if messages else float("inf")
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (instruction mix, message mix, derived).
+
+        ``TamStats`` objects also cross process boundaries whole (the
+        experiment runner pickles them through its on-disk run cache);
+        this is the flattened form the JSON artifacts embed.
+        """
+        messages = self.messages.total_messages
+        return {
+            "instructions": {
+                kind.name.lower(): count
+                for kind, count in self.instructions.items()
+            },
+            "total_instructions": self.total_instructions,
+            "messages": self.messages.as_dict(),
+            "total_messages": messages,
+            "threads_run": self.threads_run,
+            "frames_allocated": self.frames_allocated,
+            "istructures_allocated": self.istructures_allocated,
+            "flops": self.flops(),
+            "flops_per_message": self.flops_per_message() if messages else None,
+            "message_instruction_fraction": self.message_instruction_fraction,
+        }

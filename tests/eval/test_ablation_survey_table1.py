@@ -2,10 +2,16 @@
 
 import pytest
 
-from repro.eval.ablation import ABLATIONS, render_ablation, run_ablation
-from repro.eval.figure12 import run_program
-from repro.eval.survey import render_survey
-from repro.eval.table1 import Table1Row, collect_rows, format_cell, render_report
+from repro.eval import (
+    ABLATIONS,
+    collect_rows,
+    render_ablation,
+    render_report,
+    render_survey,
+    run_ablation,
+    run_program,
+)
+from repro.eval.table1 import format_cell
 from repro.survey.models import SURVEY, survey_principles_satisfied
 
 
@@ -115,7 +121,7 @@ class TestJsonExport:
     def test_records_roundtrip(self):
         import json
 
-        from repro.eval.table1 import rows_as_records
+        from repro.eval import rows_as_records
 
         records = rows_as_records(collect_rows())
         assert len(records) == 18

@@ -2,12 +2,12 @@
 
 import pytest
 
-from repro.eval.figure12 import run_program
-from repro.eval.latency import (
+from repro.eval import (
     cost_table_at_latency,
+    latency_sweep as sweep,
     relative_overheads,
     render_sweep,
-    sweep,
+    run_program,
 )
 
 

@@ -2,12 +2,12 @@
 
 import pytest
 
-from repro.eval.roundtrip import (
-    OPERATIONS,
-    collect,
+from repro.eval import (
+    collect_roundtrips as collect,
     render_roundtrips,
     roundtrip_cost,
 )
+from repro.eval.roundtrip import OPERATIONS
 from repro.tam.costmap import measured_cost_table, paper_cost_table
 
 

@@ -12,7 +12,6 @@ from repro.impls.base import (
     Architecture,
     model_by_key,
 )
-from repro.isa.machine import Placement
 
 
 class TestModelGrid:

@@ -6,8 +6,6 @@ the fabric against the protection machinery, and the whole TAM-to-Figure
 -12 pipeline.
 """
 
-import pytest
-
 from repro.api.cluster import Cluster
 from repro.impls.base import OPTIMIZED_REGISTER
 from repro.kernels import protocol as P
@@ -162,8 +160,12 @@ class TestClusterScenarios:
 
 class TestWholePipeline:
     def test_matmul_to_figure12_to_latency(self):
-        from repro.eval.figure12 import headline_metrics, run_program
-        from repro.eval.latency import relative_overheads, sweep
+        from repro.eval import (
+            headline_metrics,
+            latency_sweep as sweep,
+            relative_overheads,
+            run_program,
+        )
         from repro.tam.costmap import breakdown_all_models
 
         stats = run_program("matmul", size=8, nodes=4)

@@ -7,7 +7,7 @@ from repro.isa.assembler import SequenceBuilder
 from repro.isa.costs import off_chip_with_latency
 from repro.isa.instructions import AluFn, Cond
 from repro.isa.machine import Machine, Placement
-from repro.nic.interface import NetworkInterface, SendMode
+from repro.nic.interface import SendMode
 from repro.nic.messages import Message, pack_destination
 
 

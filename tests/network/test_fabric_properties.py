@@ -5,7 +5,7 @@ from hypothesis import strategies as st
 
 from repro.network.fabric import Fabric
 from repro.network.topology import Hypercube, Mesh2D, Torus2D
-from repro.nic.messages import Message, pack_destination
+from repro.nic.messages import pack_destination
 
 topologies = st.sampled_from(
     [Mesh2D(3, 3), Mesh2D(4, 2), Torus2D(3, 3), Hypercube(3)]

@@ -1,7 +1,5 @@
 """Tests for the STATUS / CONTROL register layouts."""
 
-import pytest
-
 from repro.nic.control import (
     CONTROL_LAYOUT,
     EXCEPTION_FIELDS,

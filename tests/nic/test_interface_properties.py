@@ -9,7 +9,7 @@ and no message may ever be duplicated or lost.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.nic.interface import NetworkInterface, SendMode, SendResult
+from repro.nic.interface import NetworkInterface, SendResult
 from repro.nic.messages import Message, pack_destination
 
 CAPACITY = 4

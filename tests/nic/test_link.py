@@ -1,7 +1,5 @@
 """Tests for the full-duplex RTL link."""
 
-import pytest
-
 from repro.nic.interface import NetworkInterface
 from repro.nic.link import Link
 from repro.nic.messages import pack_destination

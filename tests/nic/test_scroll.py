@@ -9,7 +9,6 @@ from repro.nic.interface import NetworkInterface
 from repro.nic.scroll import (
     ScrollingReceiver,
     ScrollingSender,
-    Segment,
     StreamReceiver,
     StreamSender,
     reassemble,

@@ -1,7 +1,5 @@
 """Tests for the Gamteb photon-transport program."""
 
-import pytest
-
 from repro.programs.gamteb import GROUPS, run_gamteb
 
 

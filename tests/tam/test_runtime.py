@@ -17,7 +17,6 @@ from repro.tam.instructions import (
     Op,
     OpInstr,
     ReadInstr,
-    ResetInstr,
     SendInstr,
     StopInstr,
     SwitchInstr,
