@@ -1,0 +1,126 @@
+"""The hot-spot backpressure demo plus the observability overhead check.
+
+Two questions, one harness:
+
+* **Does the flow-control chain behave?**  Runs the Section 2.1.1
+  hot-spot workload (:mod:`repro.eval.flowcontrol`) traced and prints
+  the first-occurrence timeline — input queue almost-full, refused
+  deliveries, sender output queues filling, SEND stalls — straight from
+  the trace the run produced.
+
+* **What does tracing cost?**  Times the same workload with the
+  observability layer detached, attached (tracer + metrics), and the TAM
+  matmul program with and without a tracer.  The untraced numbers are
+  the ones that must not regress: tracing is opt-in and the hot paths
+  pay only ``is None`` checks (fabric) or nothing at all (TAM, whose
+  handlers are swapped per-instance only when a tracer is given).
+
+Run standalone::
+
+    python benchmarks/bench_flowcontrol.py
+
+or through pytest-benchmark::
+
+    pytest benchmarks/bench_flowcontrol.py --benchmark-only
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.eval.flowcontrol import hotspot_params, render_flowcontrol, run_hotspot
+from repro.exp.spec import EvalOptions
+from repro.obs.metrics import MetricsRecorder
+from repro.obs.tracer import Tracer
+from repro.programs.matmul import run_matmul
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_flowcontrol.json"
+
+MATMUL_N = 24
+NODES = 16
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure(repeats: int = 3) -> dict:
+    """Time the hot-spot fabric and the TAM matmul, traced and not."""
+    params = hotspot_params(EvalOptions())
+    plain = _best_of(lambda: run_hotspot(params), repeats)
+    traced = _best_of(
+        lambda: run_hotspot(params, tracer=Tracer(), metrics=MetricsRecorder()),
+        repeats,
+    )
+    tam_plain = _best_of(
+        lambda: run_matmul(n=MATMUL_N, nodes=NODES, verify=False), repeats
+    )
+    tam_traced = _best_of(
+        lambda: run_matmul(n=MATMUL_N, nodes=NODES, verify=False, tracer=Tracer()),
+        repeats,
+    )
+    return {
+        "repeats": repeats,
+        "hotspot": {
+            "untraced_seconds": round(plain, 4),
+            "traced_seconds": round(traced, 4),
+            "overhead": round(traced / plain - 1.0, 4),
+        },
+        "matmul": {
+            "n": MATMUL_N,
+            "nodes": NODES,
+            "untraced_seconds": round(tam_plain, 4),
+            "traced_seconds": round(tam_traced, 4),
+            "overhead": round(tam_traced / tam_plain - 1.0, 4),
+        },
+    }
+
+
+def main() -> int:
+    params = hotspot_params(EvalOptions())
+    tracer = Tracer()
+    metrics = MetricsRecorder()
+    payload = run_hotspot(params, tracer=tracer, metrics=metrics)
+    print(render_flowcontrol(params, payload))
+    print()
+    report = measure()
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+    for name, row in (("hotspot", report["hotspot"]), ("matmul", report["matmul"])):
+        print(
+            f"{name:<8} untraced {row['untraced_seconds']:.3f}s  "
+            f"traced {row['traced_seconds']:.3f}s  "
+            f"overhead {row['overhead'] * 100:+.1f}%"
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points.
+# ---------------------------------------------------------------------------
+
+
+def test_hotspot_untraced(benchmark):
+    params = hotspot_params(EvalOptions())
+    payload = benchmark(run_hotspot, params)
+    assert payload["serviced"] == payload["offered"]
+
+
+def test_hotspot_traced(benchmark):
+    params = hotspot_params(EvalOptions())
+
+    def run():
+        return run_hotspot(params, tracer=Tracer(), metrics=MetricsRecorder())
+
+    payload = benchmark(run)
+    assert payload["trace"]["emitted"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,8 @@ Options::
     python -m repro --jobs 4          # fan sections out across processes
     python -m repro --json-dir out/   # artifact directory (default results/)
     python -m repro --profile         # print timing spans and counters
+    python -m repro --trace           # record message-path traces
+    python -m repro --trace-dir t/    # trace artifact directory (implies --trace)
 """
 
 from __future__ import annotations
@@ -84,6 +86,23 @@ def main(argv=None) -> int:
         help="skip writing JSON artifacts",
     )
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "record message-path traces in sections that support them and "
+            "write Chrome trace_event JSON plus metrics time-series"
+        ),
+    )
+    parser.add_argument(
+        "--trace-dir",
+        type=Path,
+        default=None,
+        help=(
+            "directory for trace artifacts (default: <json-dir>/traces; "
+            "implies --trace)"
+        ),
+    )
+    parser.add_argument(
         "--cache-dir",
         type=Path,
         default=None,
@@ -105,7 +124,13 @@ def main(argv=None) -> int:
         if (args.only is None or name in args.only) and name not in args.skip
     ]
     specs = [registry.get(name) for name in selected]
-    options = EvalOptions(paper_scale=args.paper_scale)
+    trace = args.trace or args.trace_dir is not None
+    trace_dir = args.trace_dir if args.trace_dir is not None else args.json_dir / "traces"
+    options = EvalOptions(
+        paper_scale=args.paper_scale,
+        trace=trace,
+        trace_dir=str(trace_dir) if trace else None,
+    )
 
     def banner(title: str) -> None:
         print()

@@ -28,6 +28,7 @@ EVAL_MODULES = (
     "ablation",
     "grain",
     "survey",
+    "flowcontrol",
 )
 
 _REGISTRY: Dict[str, "ExperimentSpec"] = {}

@@ -21,9 +21,18 @@ Payload = Dict[str, Any]
 
 @dataclass(frozen=True)
 class EvalOptions:
-    """The CLI knobs every experiment derives its parameters from."""
+    """The CLI knobs every experiment derives its parameters from.
+
+    ``trace`` opts sections that support it into message-path tracing
+    (:mod:`repro.obs`); ``trace_dir`` is where they write the Chrome
+    ``trace_event`` JSON and metrics time-series.  Both stay plain data
+    (a string path, not a Path object with host semantics baked in) so
+    options pickle cleanly into ``--jobs`` worker processes.
+    """
 
     paper_scale: bool = False
+    trace: bool = False
+    trace_dir: Optional[str] = None
 
 
 @dataclass(frozen=True)

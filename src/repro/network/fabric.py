@@ -11,28 +11,57 @@ full, pushing the backpressure chain the paper describes in Section 2.1.1:
     becomes clogged, processors can no longer transmit messages and
     eventually their output queues fill up."
 
+Service decisions *and credits* are snapshotted at the start of the
+cycle: a buffer slot freed by a move earlier in the same cycle is not
+reusable until the next cycle, so drain order never depends on the
+iteration order of the routers (single-cycle credit invariant).
+
 Latency model: one hop per cycle per message, plus a configurable
 per-message serialization latency at injection (defaulting to the six
-flit times of the RTL model).  The evaluation's instruction counts never
-depend on fabric latency (the paper's simulator "did not model ... any
-network latency"), but the examples and the flow-control tests exercise
-it.
+flit times of the RTL model).  The serialization timer is keyed to the
+specific head-of-queue message it was started for; a new head (after a
+drain, clear, or requeue) always serialises from scratch.  The
+evaluation's instruction counts never depend on fabric latency (the
+paper's simulator "did not model ... any network latency"), but the
+examples and the flow-control tests exercise it.
+
+Observability is opt-in: pass ``tracer=`` / ``metrics=`` to record
+structured events (:mod:`repro.obs.tracer`) and per-cycle time series
+(:mod:`repro.obs.metrics`); with both left ``None`` the cycle loop pays
+only a pair of identity checks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import NetworkError
 from repro.network.router import InTransit, Router
 from repro.network.topology import Topology
 from repro.nic.interface import NetworkInterface
+from repro.nic.messages import Message
 from repro.nic.rtl import FLITS_PER_MESSAGE
+from repro.obs.metrics import MetricsRecorder
+from repro.obs.tracer import BLOCK, EJECT, Tracer
 
 
 @dataclass
 class FabricStats:
+    """Whole-fabric counters; each counts exactly one thing.
+
+    * ``cycles`` — steps taken.
+    * ``delivered`` — messages ejected into an interface and accepted
+      (queued or diverted); equals the sum of router ``ejected`` counts.
+    * ``total_hops`` / ``total_latency`` — accumulated over delivered
+      messages only.
+    * ``deliveries_refused`` — ejection *attempts* refused because the
+      destination input queue was full at the start of the cycle: one
+      per refused head message per cycle, matching the sum of
+      :attr:`InterfaceStats.refused` exactly (a message refused for
+      five cycles counts five attempts in both places).
+    """
+
     cycles: int = 0
     delivered: int = 0
     total_hops: int = 0
@@ -57,6 +86,8 @@ class Fabric:
         interfaces: Optional[Sequence[NetworkInterface]] = None,
         link_buffer_depth: int = 4,
         serialization_cycles: int = FLITS_PER_MESSAGE,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRecorder] = None,
     ) -> None:
         self.topology = topology
         if interfaces is None:
@@ -71,8 +102,20 @@ class Fabric:
             for node in range(topology.n_nodes)
         ]
         self.serialization_cycles = max(1, serialization_cycles)
-        self._injection_timers: Dict[int, int] = {}
+        # Per-node serialization state: the head message the countdown was
+        # started for, plus the cycles it still occupies the channel.
+        self._injection_timers: Dict[int, Tuple[Message, int]] = {}
         self.stats = FabricStats()
+        self.tracer = tracer
+        self.metrics = metrics
+        self._n_links = sum(len(r.in_buffers) for r in self.routers)
+        self._almost_full_state: Dict[Tuple[int, str], bool] = {}
+        if tracer is not None:
+            clock = lambda: self.stats.cycles  # noqa: E731 - shared cycle clock
+            for router in self.routers:
+                router.attach_tracer(tracer, clock)
+            for interface in self.interfaces:
+                interface.attach_tracer(tracer, clock)
 
     def interface(self, node: int) -> NetworkInterface:
         return self.interfaces[self.topology.check_node(node)]
@@ -84,15 +127,24 @@ class Fabric:
     def step(self) -> int:
         """Advance one cycle; returns the number of deliveries made."""
         self.stats.cycles += 1
-        delivered = self._move_messages()
+        delivered, link_moves = self._move_messages()
         self._inject_from_interfaces()
+        if self.metrics is not None:
+            self._sample_metrics(delivered, link_moves)
         return delivered
 
-    def _move_messages(self) -> int:
+    def _move_messages(self) -> Tuple[int, int]:
         delivered = 0
-        # Snapshot service decisions before moving anything so a message
-        # cannot traverse two links in one cycle.
+        link_moves = 0
+        tracer = self.tracer
+        # Snapshot service decisions AND credits before moving anything,
+        # so a message cannot traverse two links in one cycle and a
+        # buffer slot freed by an earlier move this cycle cannot be
+        # consumed by a later one (drain order must not depend on router
+        # iteration order).
         moves = []
+        link_credit: Dict[Tuple[int, int], bool] = {}
+        eject_credit: Dict[int, bool] = {}
         for router in self.routers:
             outputs_used = set()
             for source in router.pending_sources():
@@ -106,48 +158,130 @@ class Fabric:
                     continue
                 outputs_used.add(port)
                 moves.append((router, source, port))
+                if port[0] == "link":
+                    key = (port[1], router.node)
+                    link_credit[key] = self.routers[port[1]].can_accept_from(
+                        router.node
+                    )
+                else:
+                    eject_credit[router.node] = self.interfaces[
+                        router.node
+                    ].can_accept()
         for router, source, port in moves:
             kind, target = port
             item = router.peek(source)
             if kind == "eject":
                 interface = self.interfaces[router.node]
-                if interface.deliver(item.message):
+                message = item.message
+                # Diverted messages (privileged / PIN mismatch) never
+                # consume an input-queue slot, so they bypass the credit
+                # snapshot exactly as they bypass the queue itself.
+                if eject_credit[router.node] or interface.would_divert(message):
+                    accepted = interface.deliver(message)
+                else:
+                    accepted = interface.refuse_delivery(message)
+                if accepted:
                     router.take(source)
                     router.stats.ejected += 1
                     delivered += 1
                     self.stats.delivered += 1
                     self.stats.total_hops += item.hops
                     self.stats.total_latency += self.stats.cycles - item.injected_at
+                    if tracer is not None:
+                        tracer.emit(
+                            self.stats.cycles,
+                            EJECT,
+                            router.node,
+                            hops=item.hops,
+                            latency=self.stats.cycles - item.injected_at,
+                        )
                 else:
                     self.stats.deliveries_refused += 1
-                    router.stats.blocked_cycles += 1
+                    router.stats.blocked_moves += 1
+                    if tracer is not None:
+                        tracer.emit(
+                            self.stats.cycles, BLOCK, router.node, port="eject"
+                        )
             else:
                 next_router = self.routers[target]
-                if next_router.can_accept_from(router.node):
+                key = (target, router.node)
+                if link_credit[key]:
+                    # One credit per link per cycle (only this router
+                    # feeds the (target, self) buffer, but be explicit).
+                    link_credit[key] = False
                     next_router.accept_from(router.node, router.take(source))
+                    router.stats.forwarded += 1
+                    link_moves += 1
                 else:
-                    router.stats.blocked_cycles += 1
-        return delivered
+                    router.stats.blocked_moves += 1
+                    if tracer is not None:
+                        tracer.emit(
+                            self.stats.cycles,
+                            BLOCK,
+                            router.node,
+                            port="link",
+                            to=target,
+                        )
+        return delivered, link_moves
 
     def _inject_from_interfaces(self) -> None:
         for node, interface in enumerate(self.interfaces):
             router = self.routers[node]
-            if interface.peek_outgoing() is None:
+            head = interface.peek_outgoing()
+            if head is None:
                 self._injection_timers.pop(node, None)
                 continue
             if not router.can_inject():
                 continue
             # Model flit-serial injection: a message occupies the channel
-            # for serialization_cycles before entering the router.
-            timer = self._injection_timers.get(node, self.serialization_cycles)
-            timer -= 1
-            if timer > 0:
-                self._injection_timers[node] = timer
+            # for serialization_cycles before entering the router.  The
+            # countdown belongs to the specific message it was started
+            # for: a different head (after a drain/clear between steps)
+            # must serialise from the beginning, never inherit the
+            # previous head's mostly-elapsed timer.
+            entry = self._injection_timers.get(node)
+            if entry is None or entry[0] is not head:
+                remaining = self.serialization_cycles
+            else:
+                remaining = entry[1]
+            remaining -= 1
+            if remaining > 0:
+                self._injection_timers[node] = (head, remaining)
                 continue
             self._injection_timers.pop(node, None)
             message = interface.transmit()
-            assert message is not None
+            assert message is head
             router.inject(InTransit(message, injected_at=self.stats.cycles))
+
+    def _sample_metrics(self, delivered: int, link_moves: int) -> None:
+        """Record this cycle's time-series samples and threshold edges."""
+        metrics = self.metrics
+        cycle = self.stats.cycles
+        input_depth = 0
+        output_depth = 0
+        for interface in self.interfaces:
+            input_depth += interface.input_queue.depth
+            output_depth += interface.output_queue.depth
+        metrics.sample("in_flight", cycle, self.in_flight())
+        metrics.sample("input_queue_depth", cycle, input_depth)
+        metrics.sample("output_queue_depth", cycle, output_depth)
+        metrics.sample("deliveries", cycle, delivered)
+        metrics.sample(
+            "link_utilization",
+            cycle,
+            link_moves / self._n_links if self._n_links else 0.0,
+        )
+        state = self._almost_full_state
+        for interface in self.interfaces:
+            for queue_name, queue in (
+                ("iq", interface.input_queue),
+                ("oq", interface.output_queue),
+            ):
+                asserted = queue.almost_full
+                key = (interface.node, queue_name)
+                if asserted != state.get(key, False):
+                    state[key] = asserted
+                    metrics.crossing(cycle, interface.node, queue_name, asserted)
 
     # ------------------------------------------------------------------
     # Convenience drivers.

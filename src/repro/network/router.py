@@ -19,10 +19,15 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import NetworkError
 from repro.nic.messages import Message
+from repro.obs.tracer import HOP, INJECT, Tracer
+
+
+def _zero_clock() -> int:
+    return 0
 
 
 @dataclass
@@ -36,10 +41,27 @@ class InTransit:
 
 @dataclass
 class RouterStats:
+    """Per-router traffic counters; each counts exactly one thing.
+
+    * ``injected`` — messages that entered the network here, from the
+      local interface's output queue.
+    * ``forwarded`` — messages this router passed onward to a *neighbor*
+      router.  The final hop into the local interface is never counted
+      here, so across a delivered message's life ``sum(forwarded)``
+      equals its hop count and ``forwarded + ejected`` never
+      double-counts the ejection hop.
+    * ``ejected`` — messages this router handed to its local interface
+      (delivery accepted, whether queued or diverted).
+    * ``blocked_moves`` — head-of-buffer service opportunities lost to a
+      lack of credit: one per cycle per output port whose chosen message
+      could not move.  A router with two blocked outputs in one cycle
+      counts two.
+    """
+
     injected: int = 0
     forwarded: int = 0
     ejected: int = 0
-    blocked_cycles: int = 0
+    blocked_moves: int = 0
 
 
 class Router:
@@ -62,6 +84,16 @@ class Router:
         }
         self.injection: Deque[InTransit] = deque()
         self.stats = RouterStats()
+        self.tracer: Optional[Tracer] = None
+        self._clock: Callable[[], int] = _zero_clock
+
+    def attach_tracer(
+        self, tracer: Tracer, clock: Optional[Callable[[], int]] = None
+    ) -> None:
+        """Opt in to event tracing; ``clock`` supplies the current cycle."""
+        self.tracer = tracer
+        if clock is not None:
+            self._clock = clock
 
     # ------------------------------------------------------------------
     # Capacity checks (credits).
@@ -82,19 +114,39 @@ class Router:
     # ------------------------------------------------------------------
 
     def accept_from(self, neighbor: int, item: InTransit) -> None:
+        """Take one message arriving over the link from ``neighbor``.
+
+        The *sending* router's ``forwarded`` counter is maintained by the
+        fabric at the move; accepting counts only the hop itself.
+        """
         if not self.can_accept_from(neighbor):
             raise NetworkError(
                 f"router {self.node}: link buffer from {neighbor} is full"
             )
         item.hops += 1
         self.in_buffers[neighbor].append(item)
-        self.stats.forwarded += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                self._clock(),
+                HOP,
+                self.node,
+                src=neighbor,
+                dest=item.message.destination,
+                hops=item.hops,
+            )
 
     def inject(self, item: InTransit) -> None:
         if not self.can_inject():
             raise NetworkError(f"router {self.node}: injection buffer full")
         self.injection.append(item)
         self.stats.injected += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                self._clock(),
+                INJECT,
+                self.node,
+                dest=item.message.destination,
+            )
 
     def pending_sources(self) -> List[Optional[int]]:
         """Buffer identifiers with a message ready, in service order.

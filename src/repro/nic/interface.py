@@ -40,7 +40,21 @@ from repro.nic.messages import (
     Message,
 )
 from repro.nic.queues import DEFAULT_CAPACITY, MessageQueue
+from repro.obs.tracer import (
+    DELIVER,
+    DISPATCH,
+    DIVERT,
+    NEXT,
+    REFUSE,
+    SEND,
+    SEND_STALL,
+    Tracer,
+)
 from repro.utils.bitfield import to_word
+
+
+def _zero_clock() -> int:
+    return 0
 
 
 class SendMode(enum.Enum):
@@ -128,7 +142,22 @@ class NetworkInterface:
         self._accept_hook = accept_hook
         self.interrupt_hook: Optional[Callable[[], None]] = None
         self.interrupts_raised = 0
+        self.tracer: Optional[Tracer] = None
+        self._clock: Callable[[], int] = _zero_clock
         self._refresh_status()
+
+    def attach_tracer(
+        self, tracer: Tracer, clock: Optional[Callable[[], int]] = None
+    ) -> None:
+        """Opt in to event tracing; ``clock`` supplies the current cycle.
+
+        Standalone interfaces (no fabric) default to timestamp 0; the
+        fabric attaches its own cycle counter so interface events line up
+        with router events on the same time axis.
+        """
+        self.tracer = tracer
+        if clock is not None:
+            self._clock = clock
 
     def enable_arrival_interrupts(self, hook: Callable[[], None]) -> None:
         """Switch from polled to interrupt-driven reception (Section 2.1).
@@ -268,17 +297,29 @@ class NetworkInterface:
                     f"node {self.node}: output queue full and policy is EXCEPTION"
                 )
             self.stats.send_stalls += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self._clock(), SEND_STALL, self.node,
+                    dest=message.destination,
+                )
             return SendResult.STALLED
         self.output_queue.push(message)
         self.stats.sends += 1
         self.stats.sends_by_mode[mode] += 1
         self._refresh_status()
+        if self.tracer is not None:
+            self.tracer.emit(
+                self._clock(), SEND, self.node,
+                dest=message.destination, mtype=mtype, mode=mode.value,
+            )
         return SendResult.SENT
 
     def next(self) -> None:
         """The ``NEXT`` command: dispose of the current message and advance."""
         self.stats.nexts += 1
         self._current = None
+        if self.tracer is not None:
+            self.tracer.emit(self._clock(), NEXT, self.node)
         self._advance()
         self._refresh_status()
 
@@ -289,6 +330,34 @@ class NetworkInterface:
     def can_accept(self) -> bool:
         """Whether the network may deliver one more message (backpressure)."""
         return not self.input_queue.is_full
+
+    def would_divert(self, message: Message) -> bool:
+        """Whether ``message`` would bypass the input queue (Section 2.1.3).
+
+        Pure check with no side effects; the fabric uses it to exempt
+        privileged / PIN-mismatched traffic from input-queue credit.
+        """
+        return message.privileged or (
+            self.control.pin_checking
+            and message.pin != self.control["active_pin"]
+        )
+
+    def refuse_delivery(self, message: Message) -> bool:
+        """Record a delivery attempt refused before touching the queue.
+
+        The fabric calls this when its cycle-start credit snapshot found
+        the input queue full: the attempt counts exactly like a
+        :meth:`deliver` refusal (statistics and trace event) but the
+        queue is never consulted, so a slot freed later in the same
+        cycle cannot be consumed out of turn.  Always returns False, the
+        same contract as a refusing ``deliver``.
+        """
+        self.stats.refused += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                self._clock(), REFUSE, self.node, dest=message.destination
+            )
+        return False
 
     def deliver(self, message: Message) -> bool:
         """Deliver one message from the network into this interface.
@@ -302,9 +371,17 @@ class NetworkInterface:
             return True
         if self.input_queue.is_full:
             self.stats.refused += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self._clock(), REFUSE, self.node, dest=message.destination
+                )
             return False
         self.input_queue.push(message)
         self.stats.delivered += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                self._clock(), DELIVER, self.node, mtype=message.mtype
+            )
         self._advance()
         self._refresh_status()
         if self.control["arrival_interrupt"] and self.interrupt_hook is not None:
@@ -345,12 +422,22 @@ class NetworkInterface:
             else:
                 self.privileged_store.append(message)
             self._refresh_status()
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self._clock(), DIVERT, self.node,
+                    privileged=message.privileged, pin=message.pin,
+                )
         return diverted
 
     def _advance(self) -> None:
         """Auto-load the input registers from the queue when they are empty."""
         if self._current is None:
             self._current = self.input_queue.try_pop()
+            if self._current is not None and self.tracer is not None:
+                self.tracer.emit(
+                    self._clock(), DISPATCH, self.node,
+                    mtype=self._current.mtype,
+                )
 
     def _refresh_status(self) -> None:
         """Recompute the hardware-maintained STATUS fields."""

@@ -27,10 +27,35 @@ Section 3.2 sizes the on-chip memory for 16-message queues (about 3/4 of a
 kilobyte for both), so 16 is the architectural default here too.
 """
 
+DEFAULT_THRESHOLD_HEADROOM = 4
+"""Messages of slack the default almost-full threshold leaves below capacity."""
+
+
+def default_threshold(capacity: int) -> int:
+    """The default almost-full threshold for a queue of ``capacity``.
+
+    Derived from the *actual* capacity (not :data:`DEFAULT_CAPACITY`) so
+    small queues still assert ``almost_full`` strictly before ``is_full``:
+    a ``capacity=4`` queue gets threshold 0, not a clamped-to-capacity 12.
+    """
+    return max(0, capacity - DEFAULT_THRESHOLD_HEADROOM)
+
 
 @dataclass
 class QueueStats:
-    """Occupancy statistics accumulated by a :class:`MessageQueue`."""
+    """Occupancy statistics accumulated by a :class:`MessageQueue`.
+
+    Each counter means exactly one thing:
+
+    * ``pushes`` — messages successfully enqueued.
+    * ``pops`` — messages dequeued (``pop`` / ``try_pop`` / ``drain``).
+    * ``rejected`` — enqueue *attempts* refused because the queue was
+      full, whether the attempt raised (``push``) or returned False
+      (``try_push``).  ``pushes + rejected`` is the total attempt count.
+    * ``peak_depth`` — maximum occupancy ever observed.
+    * ``threshold_crossings`` — rising edges of :attr:`MessageQueue.almost_full`
+      (one per excursion above the threshold, not one per cycle spent there).
+    """
 
     pushes: int = 0
     pops: int = 0
@@ -55,18 +80,22 @@ class MessageQueue:
 
     ``threshold`` is the depth above which :attr:`almost_full` asserts; it
     is software-settable through the ``CONTROL`` register.  ``capacity`` is
-    the hardware depth.
+    the hardware depth.  When ``threshold`` is omitted it defaults to
+    :func:`default_threshold` of the actual capacity, so ``almost_full``
+    asserts before ``is_full`` at any capacity.
     """
 
     name: str
     capacity: int = DEFAULT_CAPACITY
-    threshold: int = DEFAULT_CAPACITY - 4
+    threshold: Optional[int] = None
     _items: Deque[Message] = field(default_factory=deque, repr=False)
     stats: QueueStats = field(default_factory=QueueStats, repr=False)
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
             raise ValueError(f"queue {self.name!r}: capacity must be positive")
+        if self.threshold is None:
+            self.threshold = default_threshold(self.capacity)
         self.set_threshold(self.threshold)
 
     def set_threshold(self, threshold: int) -> None:
@@ -122,8 +151,14 @@ class MessageQueue:
             self.stats.threshold_crossings += 1
 
     def try_push(self, message: Message) -> bool:
-        """Append ``message`` if space allows; return whether it was queued."""
+        """Append ``message`` if space allows; return whether it was queued.
+
+        A refused attempt counts in ``stats.rejected`` exactly as a
+        refused :meth:`push` does — the two entry points differ only in
+        how they report the refusal, never in what they count.
+        """
         if self.is_full:
+            self.stats.rejected += 1
             return False
         self.push(message)
         return True

@@ -1,0 +1,68 @@
+"""Opt-in observability for the whole message path.
+
+Three pieces, all zero-cost when not attached:
+
+* :mod:`repro.obs.tracer` — ring-buffered structured event tracing with
+  cycle/turn timestamps and eviction-proof per-kind counts;
+* :mod:`repro.obs.metrics` — per-cycle time-series sampling (queue
+  depths, link utilization, in-flight counts) with histograms,
+  percentiles, and the almost-full threshold-crossing timeline;
+* :mod:`repro.obs.chrome` — Chrome ``trace_event`` JSON export, loadable
+  in ``chrome://tracing`` / Perfetto.
+
+The fabric, routers, interfaces, and the TAM runtime accept a tracer
+(and the fabric a metrics recorder); ``python -m repro --trace`` and
+``benchmarks/bench_flowcontrol.py`` wire everything together.
+"""
+
+from repro.obs.chrome import chrome_trace, chrome_trace_events, write_chrome_trace
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRecorder,
+    ThresholdCrossing,
+    TimeSeries,
+)
+from repro.obs.tracer import (
+    ALL_KINDS,
+    BLOCK,
+    DELIVER,
+    DISPATCH,
+    DIVERT,
+    EJECT,
+    HOP,
+    INJECT,
+    NEXT,
+    REFUSE,
+    SEND,
+    SEND_STALL,
+    TAM_HANDLE,
+    TAM_POST,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "BLOCK",
+    "DELIVER",
+    "DISPATCH",
+    "DIVERT",
+    "EJECT",
+    "HOP",
+    "INJECT",
+    "NEXT",
+    "REFUSE",
+    "SEND",
+    "SEND_STALL",
+    "TAM_HANDLE",
+    "TAM_POST",
+    "Histogram",
+    "MetricsRecorder",
+    "ThresholdCrossing",
+    "TimeSeries",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "chrome_trace_events",
+    "write_chrome_trace",
+]

@@ -1,0 +1,126 @@
+"""Chrome ``trace_event`` export for traced runs.
+
+Converts a :class:`~repro.obs.tracer.Tracer` (and optionally a
+:class:`~repro.obs.metrics.MetricsRecorder`) into the JSON Object Format
+of the Trace Event specification, loadable in ``chrome://tracing`` or
+https://ui.perfetto.dev:
+
+* every trace event becomes an *instant* event (``ph: "i"``) on a track
+  per node (``pid`` 0, ``tid`` = node), with the kind as the name and
+  the detail fields as ``args``;
+* every metrics series becomes a *counter* track (``ph: "C"``), so queue
+  depths and in-flight counts render as area charts over the events;
+* threshold crossings become instant events on a dedicated counter pid.
+
+Simulated cycles (or TAM turns) map one-to-one onto trace microseconds —
+the viewer's time axis reads directly as cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRecorder
+from repro.obs.tracer import Tracer
+
+#: pid used for per-node event tracks.
+EVENTS_PID = 0
+#: pid used for counter (metrics) tracks.
+COUNTERS_PID = 1
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def chrome_trace_events(
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRecorder] = None,
+) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` list for ``tracer`` and/or ``metrics``."""
+    events: List[Dict[str, Any]] = []
+    if tracer is not None:
+        nodes = set()
+        for event in tracer:
+            nodes.add(event.node)
+            events.append(
+                {
+                    "name": event.kind,
+                    "cat": "message-path",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": event.ts,
+                    "pid": EVENTS_PID,
+                    "tid": event.node,
+                    "args": {k: _jsonable(v) for k, v in event.detail.items()},
+                }
+            )
+        for node in sorted(nodes):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": EVENTS_PID,
+                    "tid": node,
+                    "args": {"name": f"node {node}"},
+                }
+            )
+    if metrics is not None:
+        for name, series in metrics.series.items():
+            for cycle, value in zip(series.cycles, series.values):
+                events.append(
+                    {
+                        "name": name,
+                        "cat": "metrics",
+                        "ph": "C",
+                        "ts": cycle,
+                        "pid": COUNTERS_PID,
+                        "args": {name: value},
+                    }
+                )
+        for crossing in metrics.crossings:
+            events.append(
+                {
+                    "name": f"{crossing.queue} almost-full "
+                    f"{'asserted' if crossing.asserted else 'deasserted'}",
+                    "cat": "threshold",
+                    "ph": "i",
+                    "s": "p",
+                    "ts": crossing.cycle,
+                    "pid": EVENTS_PID,
+                    "tid": crossing.node,
+                    "args": {"queue": crossing.queue, "node": crossing.node},
+                }
+            )
+    return events
+
+
+def chrome_trace(
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRecorder] = None,
+) -> Dict[str, Any]:
+    """The full JSON-object-format document (``chrome://tracing`` input)."""
+    document: Dict[str, Any] = {
+        "traceEvents": chrome_trace_events(tracer, metrics),
+        "displayTimeUnit": "ms",
+        "otherData": {"timebase": "1 trace microsecond = 1 simulated cycle"},
+    }
+    if tracer is not None and tracer.dropped:
+        document["otherData"]["events_dropped_from_ring"] = tracer.dropped
+    return document
+
+
+def write_chrome_trace(
+    path: Path,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRecorder] = None,
+) -> Path:
+    """Write the trace document to ``path``; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(tracer, metrics)) + "\n")
+    return path

@@ -1,0 +1,167 @@
+"""Time-series metrics for the message path.
+
+Where the tracer (:mod:`repro.obs.tracer`) records *what happened*, this
+module records *how loaded the machine was while it happened*: per-cycle
+sampled queue depths, link utilization, in-flight message counts, and
+the timeline of almost-full threshold crossings (the paper's ``iafull``
+/ ``oafull`` conditions, Section 2.2.4).  Samples aggregate into
+histograms and percentiles so a whole run summarises to a handful of
+numbers, while the raw series stay available for the Chrome-trace
+counter tracks and the JSON artifact.
+
+Like the tracer, metrics are opt-in: the fabric holds a ``metrics``
+reference defaulting to ``None`` and samples only when one is attached.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, NamedTuple, Optional
+
+
+class Histogram:
+    """An exact value-count histogram over integer-ish samples.
+
+    Queue depths and in-flight counts are small non-negative integers, so
+    counting exact values is both cheaper and more faithful than binning.
+    Float samples (e.g. link utilization) are quantised to three decimal
+    places.
+    """
+
+    __slots__ = ("counts", "total")
+
+    def __init__(self) -> None:
+        self.counts: Dict[float, int] = {}
+        self.total = 0
+
+    def add(self, value: float) -> None:
+        key = round(float(value), 3)
+        self.counts[key] = self.counts.get(key, 0) + 1
+        self.total += 1
+
+    def percentile(self, p: float) -> float:
+        """The smallest sample value covering fraction ``p`` of the mass."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"percentile {p} outside [0, 1]")
+        if self.total == 0:
+            return 0.0
+        target = p * self.total
+        seen = 0
+        value = 0.0
+        for value, count in sorted(self.counts.items()):
+            seen += count
+            if seen >= target:
+                return value
+        return value
+
+    @property
+    def mean(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return sum(v * c for v, c in self.counts.items()) / self.total
+
+    def summary(self) -> Dict[str, float]:
+        if self.total == 0:
+            return {"count": 0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                    "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        return {
+            "count": self.total,
+            "min": min(self.counts),
+            "max": max(self.counts),
+            "mean": round(self.mean, 4),
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
+
+class TimeSeries:
+    """One named per-cycle series plus its running histogram."""
+
+    __slots__ = ("name", "cycles", "values", "histogram")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.cycles: List[int] = []
+        self.values: List[float] = []
+        self.histogram = Histogram()
+
+    def sample(self, cycle: int, value: float) -> None:
+        self.cycles.append(cycle)
+        self.values.append(value)
+        self.histogram.add(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def summary(self) -> Dict[str, float]:
+        return self.histogram.summary()
+
+
+class ThresholdCrossing(NamedTuple):
+    """One edge of an almost-full condition (``iafull`` / ``oafull``)."""
+
+    cycle: int
+    node: int
+    queue: str
+    """``"iq"`` or ``"oq"``."""
+    asserted: bool
+    """True for a rising edge (condition asserted), False for falling."""
+
+
+class MetricsRecorder:
+    """Collects named time series and the threshold-crossing timeline."""
+
+    __slots__ = ("series", "crossings")
+
+    def __init__(self) -> None:
+        self.series: Dict[str, TimeSeries] = {}
+        self.crossings: List[ThresholdCrossing] = []
+
+    def sample(self, name: str, cycle: int, value: float) -> None:
+        """Append one sample to series ``name`` (created on first use)."""
+        series = self.series.get(name)
+        if series is None:
+            series = self.series[name] = TimeSeries(name)
+        series.sample(cycle, value)
+
+    def crossing(self, cycle: int, node: int, queue: str, asserted: bool) -> None:
+        """Record one almost-full edge."""
+        self.crossings.append(ThresholdCrossing(cycle, node, queue, asserted))
+
+    def first_crossing(
+        self, queue: str, node: Optional[int] = None, asserted: bool = True
+    ) -> Optional[int]:
+        """Cycle of the first matching edge, or None."""
+        for event in self.crossings:
+            if event.queue != queue or event.asserted != asserted:
+                continue
+            if node is not None and event.node != node:
+                continue
+            return event.cycle
+        return None
+
+    def summaries(self) -> Dict[str, Dict[str, float]]:
+        """Per-series aggregate statistics."""
+        return {name: series.summary() for name, series in self.series.items()}
+
+    def to_dict(self, include_samples: bool = True) -> Dict[str, Any]:
+        """The whole recording as plain JSON types (artifact body)."""
+        out: Dict[str, Any] = {
+            "series": {},
+            "crossings": [
+                {
+                    "cycle": c.cycle,
+                    "node": c.node,
+                    "queue": c.queue,
+                    "asserted": c.asserted,
+                }
+                for c in self.crossings
+            ],
+        }
+        for name, series in self.series.items():
+            entry: Dict[str, Any] = {"summary": series.summary()}
+            if include_samples:
+                entry["cycles"] = list(series.cycles)
+                entry["values"] = list(series.values)
+            out["series"][name] = entry
+        return out

@@ -466,17 +466,20 @@ class MatmulResult:
 
 
 def run_matmul(
-    n: int = 16, nodes: int = 16, verify: bool = True, fast: bool = True
+    n: int = 16, nodes: int = 16, verify: bool = True, fast: bool = True,
+    tracer=None,
 ) -> MatmulResult:
     """Run an n×n blocked matrix multiply on a TAM machine of ``nodes``.
 
     ``fast=False`` selects the reference interpreter (identical results,
-    used by the golden equivalence tests).
+    used by the golden equivalence tests).  ``tracer`` opts the machine
+    into message-path event tracing (:mod:`repro.obs.tracer`); results
+    and statistics are identical with or without one.
     """
     if n % BLOCK:
         raise TamError(f"matrix size {n} must be a multiple of {BLOCK}")
     nb = n // BLOCK
-    machine = TamMachine(nodes, fast=fast)
+    machine = TamMachine(nodes, fast=fast, tracer=tracer)
     driver = build_driver_codeblock(nb)
     done_inlet = 5  # in_done in the driver's inlet numbering
     machine.load(build_block_codeblock(nb, done_inlet=done_inlet))

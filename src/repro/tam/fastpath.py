@@ -27,6 +27,14 @@ The closures run against the same :class:`~repro.tam.frame.Frame`,
 node-state, and stats objects as the reference path, so a fast run is
 bit-for-bit identical to a reference run (the golden equivalence test
 asserts this field by field).
+
+Observability: every message-producing closure posts through the
+``machine._post`` it captured at compile time.  When the machine was
+constructed with a tracer (:mod:`repro.obs.tracer`), that attribute is
+already the traced wrapper — installed in ``TamMachine.__init__``,
+before any ``load()`` — so compiled code emits ``tam_post`` events with
+no changes here and, crucially, a machine *without* a tracer captures
+the original method and pays nothing.
 """
 
 from __future__ import annotations

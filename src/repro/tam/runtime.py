@@ -66,6 +66,7 @@ from repro.tam.messages import (
     MsgKind,
     TamMessage,
 )
+from repro.obs.tracer import TAM_HANDLE, TAM_POST, Tracer
 from repro.tam.stats import TamStats
 from repro.utils.profiling import PROFILER
 
@@ -91,9 +92,23 @@ class TamMachine:
     ``fast=True`` (the default) selects the compiled execution path;
     ``fast=False`` selects the reference interpreter.  Both produce
     identical statistics and results.
+
+    ``tracer`` opts the machine into message-path event tracing
+    (:mod:`repro.obs.tracer`): every posted inter-frame message emits a
+    ``tam_post`` event and every processed one a ``tam_handle`` event,
+    stamped with a monotonic turn sequence.  Tracing is installed by
+    swapping the posting/handling entry points for traced wrappers at
+    construction time — before any ``load()`` compiles closures over
+    them — so a machine built without a tracer executes byte-identical
+    code on the hot path (zero overhead when off).
     """
 
-    def __init__(self, n_nodes: int = 1, fast: bool = True) -> None:
+    def __init__(
+        self,
+        n_nodes: int = 1,
+        fast: bool = True,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         if n_nodes < 1:
             raise TamError("a TAM machine needs at least one node")
         self.n_nodes = n_nodes
@@ -119,6 +134,59 @@ class TamMachine:
         # Shortcut for the fast path's send accounting (the stats object
         # is created once here and never replaced).
         self._sends_by_words = self.stats.messages.sends_by_words
+        self.tracer = tracer
+        self._trace_seq = 0
+        if tracer is not None:
+            self._install_tracing()
+
+    def _install_tracing(self) -> None:
+        """Swap the message entry points for traced wrappers.
+
+        Installed as *instance* attributes, which is what makes tracing
+        free when absent: the fast path's compiled closures capture
+        ``machine._post`` at ``load()`` time and the run loops bind
+        ``self._deliver`` / ``self._on_pread`` at entry, so with no
+        tracer they resolve to the original methods and no extra branch
+        ever executes.  Only the seven leaf handlers are wrapped (not
+        ``_process_message``, which merely dispatches to them), so each
+        processed message emits exactly one ``tam_handle`` event on both
+        execution paths.
+        """
+        tracer = self.tracer
+        plain_post = self._post
+
+        def traced_post(message: TamMessage) -> None:
+            self._trace_seq += 1
+            tracer.emit(
+                self._trace_seq, TAM_POST, message.node, mkind=message.kind.name
+            )
+            plain_post(message)
+
+        self._post = traced_post
+
+        def wrap_handler(handler):
+            def traced(state: _NodeState, message: TamMessage) -> None:
+                self._trace_seq += 1
+                tracer.emit(
+                    self._trace_seq,
+                    TAM_HANDLE,
+                    state.node_id,
+                    mkind=message.kind.name,
+                )
+                handler(state, message)
+
+            return traced
+
+        for name in (
+            "_deliver",
+            "_on_pread",
+            "_on_pwrite",
+            "_on_falloc",
+            "_on_ialloc",
+            "_on_read",
+            "_on_write",
+        ):
+            setattr(self, name, wrap_handler(getattr(self, name)))
 
     # ------------------------------------------------------------------
     # Program loading and boot.

@@ -88,6 +88,36 @@ class TestCliSmoke:
         result = _run_cli("--jobs", "0", cwd=tmp_path)
         assert result.returncode != 0
 
+    def test_trace_writes_chrome_trace_and_metrics(self, tmp_path):
+        json_dir = tmp_path / "artifacts"
+        result = _run_cli(
+            "--only", "flowcontrol", "--trace", "--json-dir", str(json_dir),
+            cwd=tmp_path,
+        )
+        assert result.returncode == 0, result.stderr
+        artifact = json.loads((json_dir / "flowcontrol.json").read_text())
+        validate_artifact(artifact)
+        assert artifact["data"]["serviced"] == artifact["data"]["offered"]
+
+        trace = json.loads(
+            (json_dir / "traces" / "flowcontrol_trace.json").read_text()
+        )
+        assert trace["traceEvents"], "chrome trace holds no events"
+        metrics = json.loads(
+            (json_dir / "traces" / "flowcontrol_metrics.json").read_text()
+        )
+        assert metrics["series"]["in_flight"]["values"]
+        assert metrics["crossings"], "no threshold crossings recorded"
+
+    def test_untraced_flowcontrol_writes_no_trace_files(self, tmp_path):
+        json_dir = tmp_path / "artifacts"
+        result = _run_cli(
+            "--only", "flowcontrol", "--json-dir", str(json_dir), cwd=tmp_path
+        )
+        assert result.returncode == 0, result.stderr
+        assert (json_dir / "flowcontrol.json").exists()
+        assert not (json_dir / "traces").exists()
+
 
 class TestParallelEquivalence:
     def test_jobs_output_matches_serial(self, tmp_path):

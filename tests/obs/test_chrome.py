@@ -1,0 +1,84 @@
+"""Chrome trace_event export: structure, tracks, and file output."""
+
+import json
+
+from repro.obs.chrome import (
+    COUNTERS_PID,
+    EVENTS_PID,
+    chrome_trace,
+    chrome_trace_events,
+    write_chrome_trace,
+)
+from repro.obs.metrics import MetricsRecorder
+from repro.obs.tracer import SEND, Tracer
+
+
+def make_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.emit(3, SEND, 1, dest=4)
+    tracer.emit(7, SEND, 2, dest=4)
+    return tracer
+
+
+def make_metrics() -> MetricsRecorder:
+    metrics = MetricsRecorder()
+    metrics.sample("in_flight", 1, 2)
+    metrics.sample("in_flight", 2, 5)
+    metrics.crossing(9, 4, "iq", True)
+    return metrics
+
+
+class TestChromeExport:
+    def test_instant_events_per_node(self):
+        events = chrome_trace_events(make_tracer())
+        instants = [e for e in events if e["ph"] == "i"]
+        assert [(e["ts"], e["tid"]) for e in instants] == [(3, 1), (7, 2)]
+        assert all(e["pid"] == EVENTS_PID for e in instants)
+        assert instants[0]["name"] == SEND
+        assert instants[0]["args"] == {"dest": 4}
+
+    def test_thread_name_metadata(self):
+        events = chrome_trace_events(make_tracer())
+        names = {
+            e["tid"]: e["args"]["name"] for e in events if e["ph"] == "M"
+        }
+        assert names == {1: "node 1", 2: "node 2"}
+
+    def test_counter_tracks(self):
+        events = chrome_trace_events(metrics=make_metrics())
+        counters = [e for e in events if e["ph"] == "C"]
+        assert [(e["ts"], e["args"]["in_flight"]) for e in counters] == [
+            (1, 2),
+            (2, 5),
+        ]
+        assert all(e["pid"] == COUNTERS_PID for e in counters)
+
+    def test_threshold_crossing_instants(self):
+        events = chrome_trace_events(metrics=make_metrics())
+        crossings = [e for e in events if e["cat"] == "threshold"]
+        assert len(crossings) == 1
+        assert crossings[0]["ts"] == 9
+        assert crossings[0]["tid"] == 4
+        assert "asserted" in crossings[0]["name"]
+
+    def test_document_shape(self):
+        document = chrome_trace(make_tracer(), make_metrics())
+        assert set(document) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert "events_dropped_from_ring" not in document["otherData"]
+
+    def test_document_reports_drops(self):
+        tracer = Tracer(capacity=1)
+        tracer.emit(1, SEND, 0)
+        tracer.emit(2, SEND, 0)
+        document = chrome_trace(tracer)
+        assert document["otherData"]["events_dropped_from_ring"] == 1
+
+    def test_write_round_trips(self, tmp_path):
+        path = write_chrome_trace(
+            tmp_path / "traces" / "t.json", make_tracer(), make_metrics()
+        )
+        document = json.loads(path.read_text())
+        assert document["traceEvents"]
+        # Every event is plain JSON already (args were sanitised).
+        for event in document["traceEvents"]:
+            assert isinstance(event["name"], str)

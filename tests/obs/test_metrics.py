@@ -1,0 +1,85 @@
+"""Time-series metrics: histograms, percentiles, threshold timelines."""
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRecorder, ThresholdCrossing
+
+
+class TestHistogram:
+    def test_empty(self):
+        hist = Histogram()
+        assert hist.mean == 0.0
+        assert hist.percentile(0.5) == 0.0
+        assert hist.summary()["count"] == 0
+
+    def test_percentiles(self):
+        hist = Histogram()
+        for value in range(1, 101):
+            hist.add(value)
+        assert hist.percentile(0.5) == 50
+        assert hist.percentile(0.9) == 90
+        assert hist.percentile(1.0) == 100
+        assert hist.mean == pytest.approx(50.5)
+
+    def test_percentile_bounds(self):
+        hist = Histogram()
+        hist.add(1)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_float_quantisation(self):
+        hist = Histogram()
+        hist.add(0.12349)
+        hist.add(0.12351)
+        assert hist.counts == {0.123: 1, 0.124: 1}
+
+    def test_summary(self):
+        hist = Histogram()
+        for value in (2, 2, 4, 8):
+            hist.add(value)
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["min"] == 2
+        assert summary["max"] == 8
+        assert summary["mean"] == 4.0
+        assert summary["p50"] == 2
+
+
+class TestMetricsRecorder:
+    def test_series_created_on_first_sample(self):
+        metrics = MetricsRecorder()
+        metrics.sample("depth", 1, 3)
+        metrics.sample("depth", 2, 5)
+        series = metrics.series["depth"]
+        assert series.cycles == [1, 2]
+        assert series.values == [3, 5]
+        assert len(series) == 2
+        assert series.summary()["max"] == 5
+
+    def test_first_crossing_filters(self):
+        metrics = MetricsRecorder()
+        metrics.crossing(10, 0, "oq", True)
+        metrics.crossing(12, 3, "iq", True)
+        metrics.crossing(15, 3, "iq", False)
+        metrics.crossing(20, 5, "iq", True)
+        assert metrics.first_crossing("iq") == 12
+        assert metrics.first_crossing("iq", node=5) == 20
+        assert metrics.first_crossing("iq", asserted=False) == 15
+        assert metrics.first_crossing("oq") == 10
+        assert metrics.first_crossing("iq", node=9) is None
+        assert metrics.crossings[0] == ThresholdCrossing(10, 0, "oq", True)
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        metrics = MetricsRecorder()
+        metrics.sample("depth", 1, 3)
+        metrics.crossing(2, 0, "iq", True)
+        full = json.loads(json.dumps(metrics.to_dict()))
+        assert full["series"]["depth"]["values"] == [3]
+        assert full["crossings"] == [
+            {"cycle": 2, "node": 0, "queue": "iq", "asserted": True}
+        ]
+        lean = metrics.to_dict(include_samples=False)
+        assert "values" not in lean["series"]["depth"]
+        assert lean["series"]["depth"]["summary"]["count"] == 1
