@@ -31,6 +31,51 @@ from repro.node.handlers import (
     build_write_request,
 )
 from repro.node.node import Node
+from repro.obs.metrics import MetricsRecorder
+from repro.obs.tracer import Tracer
+from repro.sim import SimComponent, SimKernel
+
+
+class _FabricComponent(SimComponent):
+    """The fabric under the kernel: steps only while traffic is pending,
+    so node-only service rounds do not advance ``fabric.stats.cycles``."""
+
+    name = "fabric"
+
+    def __init__(self, fabric: Fabric) -> None:
+        self.fabric = fabric
+
+    def tick(self, cycle: int) -> None:
+        if self.fabric.pending():
+            self.fabric.step()
+
+    def quiescent(self) -> bool:
+        return self.fabric.pending() == 0
+
+    def snapshot(self):
+        return self.fabric.snapshot()
+
+
+class _NodeComponent(SimComponent):
+    """One node's poll/dispatch/handle loop as a kernel component."""
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+        self.name = f"node{node.node_id}"
+
+    def tick(self, cycle: int) -> None:
+        self.node.service()
+
+    def quiescent(self) -> bool:
+        return self.node.idle and not self.node.interface.status.has_exception
+
+    def snapshot(self):
+        interface = self.node.interface
+        return {
+            "input_queue": interface.input_queue.depth,
+            "output_queue": interface.output_queue.depth,
+            "msg_valid": interface.msg_valid,
+        }
 
 
 @dataclass
@@ -59,6 +104,8 @@ class Cluster:
         topology: Optional[Topology] = None,
         link_buffer_depth: int = 4,
         serialization_cycles: int = 6,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRecorder] = None,
     ) -> None:
         self.topology = topology or Mesh2D(2, 2)
         self.nodes: List[Node] = [
@@ -69,9 +116,18 @@ class Cluster:
             [node.interface for node in self.nodes],
             link_buffer_depth=link_buffer_depth,
             serialization_cycles=serialization_cycles,
+            tracer=tracer,
+            metrics=metrics,
         )
         for node in self.nodes:
             node.set_drain_hook(self.fabric.step)
+        # One kernel for the whole machine, registered in service order:
+        # the fabric moves messages first, then every node drains what
+        # arrived — the ordering guarantee the kernel pins.
+        self._kernel = SimKernel()
+        self._kernel.register(_FabricComponent(self.fabric))
+        for node in self.nodes:
+            self._kernel.register(_NodeComponent(node))
 
     def node(self, node_id: int) -> Node:
         self.topology.check_node(node_id)
@@ -88,28 +144,19 @@ class Cluster:
     def run(self, max_rounds: int = 100_000) -> int:
         """Advance fabric and nodes until the whole machine is quiescent.
 
-        Returns the number of fabric cycles consumed.  Quiescent means: no
-        message in any router, output queue, input queue, or input
-        registers.
+        Runs on the shared :class:`~repro.sim.kernel.SimKernel` and
+        returns the number of kernel cycles consumed.  One cycle is one
+        service round — a fabric step (when traffic is pending) followed
+        by every node's service loop — so *every* round that performs
+        work consumes simulated time, including rounds where only nodes
+        progress.  (The legacy loop counted fabric steps only, so
+        node-only service rounds were invisible in the returned count.)
+        Quiescent means: no message in any router, output queue, input
+        queue, or input registers, and no pending exception.
         """
-        rounds = 0
-        cycles = 0
-        while True:
-            progressed = False
-            if self.fabric.pending():
-                self.fabric.step()
-                cycles += 1
-                progressed = True
-            for node in self.nodes:
-                if node.service():
-                    progressed = True
-            if not progressed:
-                return cycles
-            rounds += 1
-            if rounds > max_rounds:
-                raise NetworkError(
-                    f"cluster did not quiesce within {max_rounds} rounds"
-                )
+        return self._kernel.run(
+            max_cycles=max_rounds, stall_error=NetworkError, label="cluster"
+        ).cycles
 
     # ------------------------------------------------------------------
     # Remote operations.

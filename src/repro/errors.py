@@ -66,3 +66,12 @@ class DeadlockError(TamError):
 
 class EvaluationError(ReproError):
     """An evaluation harness was asked for an unknown experiment or model."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was misconfigured or misused."""
+
+
+class SimStallError(SimulationError):
+    """A kernel run exceeded its cycle bound; the message carries the
+    diagnostic state snapshot of every registered component."""

@@ -44,12 +44,110 @@ from repro.obs.tracer import (
     Tracer,
 )
 from repro.obs.chrome import write_chrome_trace
+from repro.sim import SimComponent, SimKernel
 from repro.utils.tables import render_table
 
 #: Message type used by the synthetic hot-spot traffic.
 HOTSPOT_MTYPE = 2
 
 MAX_CYCLES = 200_000
+
+
+class _Sender(SimComponent):
+    """One flooding node: offers a message to the hot node on its slot.
+
+    Offer slots are the cycles where ``(cycle + node) % offer_interval``
+    is zero — staggered across senders so injections do not arrive in
+    lockstep waves.  Between slots the sender sleeps on a timed wake, so
+    the kernel never scans it; once its quota is sent it sleeps for good.
+    """
+
+    def __init__(
+        self, fabric: Fabric, node: int, hot: int, quota: int, interval: int
+    ) -> None:
+        self.name = f"sender{node}"
+        self.interface = fabric.interface(node)
+        self.node = node
+        self.destination = pack_destination(hot)
+        self.remaining = quota
+        self.interval = interval
+        self.handle = None  # bound by run_hotspot after registration
+
+    def first_slot(self) -> int:
+        """The first cycle >= 1 on which this sender may offer."""
+        slot = (-self.node) % self.interval
+        return slot if slot else self.interval
+
+    def tick(self, cycle: int) -> None:
+        ni = self.interface
+        ni.write_output(0, self.destination)
+        ni.write_output(1, self.node)
+        if ni.send(HOTSPOT_MTYPE) is SendResult.SENT:
+            self.remaining -= 1
+        if self.remaining:
+            self.handle.wake_at(cycle + self.interval)
+        else:
+            self.handle.sleep()
+
+    def quiescent(self) -> bool:
+        return self.remaining == 0
+
+    def snapshot(self):
+        return {
+            "remaining": self.remaining,
+            "output_queue": self.interface.output_queue.depth,
+        }
+
+
+class _Receiver(SimComponent):
+    """The hot node's processor: drains one message per service slot."""
+
+    name = "receiver"
+
+    def __init__(self, fabric: Fabric, hot: int, interval: int) -> None:
+        self.interface = fabric.interface(hot)
+        self.interval = interval
+        self.serviced = 0
+        self.handle = None
+
+    def tick(self, cycle: int) -> None:
+        if self.interface.msg_valid:
+            self.interface.next()
+            self.serviced += 1
+        self.handle.wake_at(cycle + self.interval)
+
+    def quiescent(self) -> bool:
+        return self.interface.input_queue.is_empty and not self.interface.msg_valid
+
+    def snapshot(self):
+        return {
+            "serviced": self.serviced,
+            "input_queue": self.interface.input_queue.depth,
+            "msg_valid": self.interface.msg_valid,
+        }
+
+
+class _FabricClock(SimComponent):
+    """The fabric under the hot-spot kernel: steps every cycle (it is the
+    workload's clock and its metrics sampler) and tracks peak occupancy."""
+
+    name = "fabric"
+
+    def __init__(self, fabric: Fabric) -> None:
+        self.fabric = fabric
+        self.peak_in_flight = 0
+
+    def tick(self, cycle: int) -> None:
+        self.fabric.step()
+        in_flight = self.fabric.in_flight()
+        if in_flight > self.peak_in_flight:
+            self.peak_in_flight = in_flight
+
+    def quiescent(self) -> bool:
+        return self.fabric.pending() == 0
+
+    def snapshot(self):
+        return self.fabric.snapshot()
 
 
 def hotspot_params(options: EvalOptions) -> Dict:
@@ -90,8 +188,16 @@ def run_hotspot(
     below its own injection bandwidth (one message per
     ``serialization_cycles``), so output queues can only fill — and
     SENDs can only stall — through backpressure from the hot spot, not
-    through self-congestion at the injection channel.  The run ends when
-    every offered message has been sent, delivered, and serviced.
+    through self-congestion at the injection channel.
+
+    The workload runs on a :class:`~repro.sim.kernel.SimKernel`: each
+    sender and the receiver are timed-wake components (idle-skipped
+    between their offer/service slots), the fabric ticks every cycle,
+    and the kernel's default quiescence stop ends the run exactly when
+    every offered message has been sent, delivered, and serviced.  A run
+    exceeding ``MAX_CYCLES`` raises with the kernel's diagnostic
+    snapshot — per-queue occupancy, in-flight count, and per-sender
+    remaining quota — instead of a bare timeout.
     """
     hot = params["hot_node"]
     topology = Mesh2D(params["width"], params["height"])
@@ -115,54 +221,46 @@ def run_hotspot(
         metrics=metrics,
     )
 
-    senders = [node for node in range(topology.n_nodes) if node != hot]
-    remaining = {node: params["messages_per_sender"] for node in senders}
-    receiver = fabric.interface(hot)
-    serviced = 0
-    peak_in_flight = 0
-    cycle = 0
-    while True:
-        cycle += 1
-        if cycle > MAX_CYCLES:
-            raise NetworkError(
-                f"hot-spot workload failed to finish within {MAX_CYCLES} cycles"
-            )
-        for node in senders:
-            if remaining[node] == 0:
-                continue
-            # Stagger offer slots across senders so injections do not
-            # arrive in lockstep waves.
-            if (cycle + node) % params["offer_interval"]:
-                continue
-            ni = fabric.interface(node)
-            ni.write_output(0, pack_destination(hot))
-            ni.write_output(1, node)
-            if ni.send(HOTSPOT_MTYPE) is SendResult.SENT:
-                remaining[node] -= 1
-        if cycle % params["service_interval"] == 0 and receiver.msg_valid:
-            receiver.next()
-            serviced += 1
-        fabric.step()
-        peak_in_flight = max(peak_in_flight, fabric.in_flight())
-        if (
-            not any(remaining.values())
-            and fabric.pending() == 0
-            and receiver.input_queue.is_empty
-            and not receiver.msg_valid
-        ):
-            break
+    # Kernel service order mirrors the workload's intra-cycle order:
+    # senders in ascending node id, then the receiver, then the fabric.
+    kernel = SimKernel()
+    senders = [
+        _Sender(
+            fabric,
+            node,
+            hot,
+            quota=params["messages_per_sender"],
+            interval=params["offer_interval"],
+        )
+        for node in range(topology.n_nodes)
+        if node != hot
+    ]
+    for sender in senders:
+        sender.handle = kernel.register(sender)
+        sender.handle.wake_at(sender.first_slot())
+    receiver = _Receiver(fabric, hot, interval=params["service_interval"])
+    receiver.handle = kernel.register(receiver)
+    receiver.handle.wake_at(receiver.interval)
+    clock = _FabricClock(fabric)
+    kernel.register(clock)
+
+    result = kernel.run(
+        max_cycles=MAX_CYCLES, stall_error=NetworkError, label="hot-spot workload"
+    )
     offered = params["messages_per_sender"] * len(senders)
+    serviced = receiver.serviced
     assert serviced == offered, f"serviced {serviced} of {offered} messages"
 
+    sender_nodes = [sender.node for sender in senders]
     payload: Dict = {
-        "cycles": cycle,
+        "cycles": result.cycles,
         "offered": offered,
         "serviced": serviced,
         "delivered": fabric.stats.delivered,
         "deliveries_refused": fabric.stats.deliveries_refused,
         "mean_hops": round(fabric.stats.mean_hops, 3),
         "mean_latency": round(fabric.stats.mean_latency, 3),
-        "peak_in_flight": peak_in_flight,
+        "peak_in_flight": clock.peak_in_flight,
         "sends": sum(ni.stats.sends for ni in fabric.interfaces),
         "send_stalls": sum(ni.stats.send_stalls for ni in fabric.interfaces),
         "refused": sum(ni.stats.refused for ni in fabric.interfaces),
@@ -170,13 +268,14 @@ def run_hotspot(
         "forwarded": sum(r.stats.forwarded for r in fabric.routers),
         "ejected": sum(r.stats.ejected for r in fabric.routers),
         "blocked_moves": sum(r.stats.blocked_moves for r in fabric.routers),
-        "hot_iq": receiver.input_queue.stats.snapshot(),
+        "hot_iq": receiver.interface.input_queue.stats.snapshot(),
         "sender_oq_peak": max(
-            fabric.interface(n).output_queue.stats.peak_depth for n in senders
+            fabric.interface(n).output_queue.stats.peak_depth
+            for n in sender_nodes
         ),
         "sender_oq_crossings": sum(
             fabric.interface(n).output_queue.stats.threshold_crossings
-            for n in senders
+            for n in sender_nodes
         ),
     }
     payload["chain"] = _chain_timeline(hot, tracer, metrics)

@@ -44,6 +44,7 @@ from repro.nic.messages import Message
 from repro.nic.rtl import FLITS_PER_MESSAGE
 from repro.obs.metrics import MetricsRecorder
 from repro.obs.tracer import BLOCK, EJECT, Tracer
+from repro.sim.kernel import SimKernel
 
 
 @dataclass
@@ -297,20 +298,44 @@ class Fabric:
             ni.output_queue.depth for ni in self.interfaces
         )
 
+    # The fabric is itself a kernel component (repro.sim): one tick is
+    # one cycle, quiescence is "no undelivered traffic", and the stall
+    # snapshot shows where messages are stuck.
+
+    name = "fabric"
+
+    def tick(self, cycle: int) -> None:
+        self.step()
+
+    def quiescent(self) -> bool:
+        return self.pending() == 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """Diagnostic state for the kernel's stall report."""
+        return {
+            "in_flight": self.in_flight(),
+            "output_queues": {
+                ni.node: ni.output_queue.depth
+                for ni in self.interfaces
+                if ni.output_queue.depth
+            },
+            "input_queues": {
+                ni.node: ni.input_queue.depth
+                for ni in self.interfaces
+                if ni.input_queue.depth
+            },
+            "cycles": self.stats.cycles,
+        }
+
     def run_until_quiescent(self, max_cycles: int = 100_000) -> int:
         """Step until no traffic remains in routers or output queues.
 
         Input queues may remain non-empty (that is endpoint work); raises
-        if the fabric cannot drain — e.g. receivers never accept — within
-        ``max_cycles``.
+        with the kernel's diagnostic snapshot if the fabric cannot drain
+        — e.g. receivers never accept — within ``max_cycles``.
         """
-        cycles = 0
-        while self.pending():
-            self.step()
-            cycles += 1
-            if cycles > max_cycles:
-                raise NetworkError(
-                    f"fabric failed to drain within {max_cycles} cycles "
-                    f"({self.pending()} messages pending)"
-                )
-        return cycles
+        kernel = SimKernel()
+        kernel.register(self)
+        return kernel.run(
+            max_cycles=max_cycles, stall_error=NetworkError, label="fabric"
+        ).cycles

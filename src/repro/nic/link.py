@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.nic.rtl import ClockedNIC, Flit
+from repro.sim.kernel import SimKernel
 
 
 @dataclass
@@ -72,20 +73,42 @@ class Link:
         for _ in range(cycles):
             self.step()
 
+    # The link is itself a kernel component (repro.sim): one tick is one
+    # clock edge for both chips and both wires.
+
+    name = "link"
+
+    def tick(self, cycle: int) -> None:
+        self.step()
+
+    def quiescent(self) -> bool:
+        """Neither chip has traffic in flight and both wires are empty."""
+        return not (
+            self.a.tx.busy
+            or self.b.tx.busy
+            or self.a.rx.busy
+            or self.b.rx.busy
+            or self._a_to_b.wire is not None
+            or self._b_to_a.wire is not None
+        )
+
+    def snapshot(self) -> dict:
+        return {
+            "a_tx_busy": self.a.tx.busy,
+            "b_tx_busy": self.b.tx.busy,
+            "a_rx_busy": self.a.rx.busy,
+            "b_rx_busy": self.b.rx.busy,
+            "wire_a_to_b": self._a_to_b.wire is not None,
+            "wire_b_to_a": self._b_to_a.wire is not None,
+        }
+
     def run_until_idle(self, max_cycles: int = 10_000) -> int:
         """Step until neither chip has traffic in flight."""
-        for elapsed in range(max_cycles):
-            if not (
-                self.a.tx.busy
-                or self.b.tx.busy
-                or self.a.rx.busy
-                or self.b.rx.busy
-                or self._a_to_b.wire is not None
-                or self._b_to_a.wire is not None
-            ):
-                return elapsed
-            self.step()
-        raise TimeoutError(f"link did not go idle within {max_cycles} cycles")
+        kernel = SimKernel()
+        kernel.register(self)
+        return kernel.run(
+            max_cycles=max_cycles, stall_error=TimeoutError, label="link"
+        ).cycles
 
     @property
     def flits_a_to_b(self) -> int:

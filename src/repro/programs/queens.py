@@ -359,12 +359,20 @@ class QueensResult:
 
 
 def run_queens(
-    n: int = 6, nodes: int = 16, verify: bool = True, fast: bool = True
+    n: int = 6,
+    nodes: int = 16,
+    verify: bool = True,
+    fast: bool = True,
+    tracer=None,
 ) -> QueensResult:
-    """Count the N-Queens solutions with one activation per tree node."""
+    """Count the N-Queens solutions with one activation per tree node.
+
+    ``tracer`` opts the machine into message-path event tracing
+    (:mod:`repro.obs.tracer`).
+    """
     if n < 1 or n > MAX_N:
         raise TamError(f"board size {n} outside 1..{MAX_N}")
-    machine = TamMachine(nodes, fast=fast)
+    machine = TamMachine(nodes, fast=fast, tracer=tracer)
     machine.load(build_worker(n))
     machine.load(build_driver())
     ref = machine.boot("queens_driver")

@@ -18,21 +18,26 @@ reproducible bit for bit.
 Two execution paths implement those semantics:
 
 * the **fast path** (default): threads and inlets are compiled to bound
-  handler closures at ``load()`` time (:mod:`repro.tam.fastpath`) and the
-  scheduler keeps an active-node work queue, so idle nodes cost nothing;
+  handler closures at ``load()`` time (:mod:`repro.tam.fastpath`) and
+  nodes are driven by :class:`repro.sim.sweep.ActiveSweep` — the
+  flag-array scheduler that skips idle nodes for free;
 * the **reference path** (``TamMachine(n, fast=False)``): the original
-  per-instruction ``isinstance`` interpreter with a scan-all-nodes
-  scheduler, kept as the executable specification.
+  per-instruction ``isinstance`` interpreter driven by
+  :class:`repro.sim.sweep.ReferenceSweep` (scan every node each sweep),
+  kept as the executable specification.
 
-Both paths service nodes in the identical round-robin sweep order and
-produce field-for-field identical :class:`~repro.tam.stats.TamStats`
-(asserted by ``tests/tam/test_golden_equivalence.py``).
+The two sweep policies are contract-equivalent (same service order,
+same exact ``max_turns`` bound — ``tests/sim/test_sweep.py``) and both
+paths produce field-for-field identical
+:class:`~repro.tam.stats.TamStats` and turn-for-turn identical trace
+streams (``tests/tam/test_golden_equivalence.py``,
+``tests/sim/test_determinism.py``).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import DeadlockError, TamError
 from repro.node.istructure import DeferredReader, IStructureMemory
@@ -67,6 +72,7 @@ from repro.tam.messages import (
     TamMessage,
 )
 from repro.obs.tracer import TAM_HANDLE, TAM_POST, Tracer
+from repro.sim.sweep import ActiveSweep, ReferenceSweep
 from repro.tam.stats import TamStats
 from repro.utils.profiling import PROFILER
 
@@ -119,15 +125,12 @@ class TamMachine:
         self.turns_executed = 0
         self._rr_next = 0
         self._compiled: Dict[str, object] = {}
-        # Active-node scheduler state; live only while a fast run is in
-        # progress (_sched_active False otherwise, which _post uses as the
-        # signal that no activity flags need maintaining).  Each flag
-        # array carries a True sentinel at index n_nodes so the sweep scan
-        # (list.index) always terminates without an exception.
-        self._sched_active = False
-        self._in_current = [False] * n_nodes + [True]
-        self._in_next = [False] * n_nodes + [True]
-        self._sweep_pos = -1
+        # The kernel's two service policies (repro.sim.sweep): the
+        # active-flag scheduler used by the fast path is per-machine
+        # state because _post pokes its flag arrays directly; it is
+        # `.active` only while a fast run is in progress.
+        self._sched = ActiveSweep(n_nodes)
+        self._reference_sched = ReferenceSweep()
         self._deliver = (
             self._deliver_message_fast if fast else self._deliver_message
         )
@@ -259,7 +262,9 @@ class TamMachine:
         """Execute to quiescence; returns the accumulated statistics.
 
         ``max_turns`` bounds *productive* turns (threads run plus messages
-        processed); sweeps over idle nodes are not charged against it.
+        processed) exactly: a run needing exactly ``max_turns`` turns
+        succeeds, one needing more raises before executing the excess
+        turn.  Sweeps over idle nodes are not charged against it.
         """
         with PROFILER.span("tam.run"):
             if self.fast:
@@ -272,55 +277,46 @@ class TamMachine:
         self._check_quiescence()
         return self.stats
 
+    def _turn_stall(self, max_turns: int) -> Callable[[], TamError]:
+        return lambda: TamError(f"TAM run exceeded {max_turns} turns")
+
     def _run_reference(self, max_turns: int) -> int:
-        """The original scan-all-nodes scheduler (executable spec)."""
-        turns = 0
-        while True:
-            progressed = False
-            for state in self.nodes:
-                # Enabled threads drain before new messages are accepted
-                # (TAM's continuation vector has priority over inlets);
-                # this also guarantees a counter re-armed by its own
-                # thread is reset before the next message decrements it.
-                if state.stack:
-                    frame, label = state.stack.pop()
-                    self._run_thread(state, frame, label)
-                elif state.inbox:
-                    self._process_message(state, state.inbox.popleft())
-                else:
-                    continue
-                progressed = True
-                turns += 1
-                if turns > max_turns:
-                    raise TamError(f"TAM run exceeded {max_turns} turns")
-            if not progressed:
-                break
-        return turns
+        """The scan-all-nodes policy (executable spec).
+
+        Enabled threads drain before new messages are accepted (TAM's
+        continuation vector has priority over inlets); this also
+        guarantees a counter re-armed by its own thread is reset before
+        the next message decrements it — the priority lives in
+        ``_do_one_unit``, which both policies' callbacks share.
+        """
+        return self._reference_sched.run(
+            self.nodes,
+            has_work=lambda state: state.stack or state.inbox,
+            do_one=self._do_one_unit,
+            max_turns=max_turns,
+            stall=self._turn_stall(max_turns),
+        )
+
+    def _do_one_unit(self, state: _NodeState) -> None:
+        """One productive turn on ``state`` via the reference dispatch."""
+        if state.stack:
+            frame, label = state.stack.pop()
+            self._run_thread(state, frame, label)
+        else:
+            self._process_message(state, state.inbox.popleft())
 
     def _run_fast(self, max_turns: int) -> int:
-        """Active-node scheduler: identical service order, no idle scans.
+        """The active-node policy: identical service order, no idle scans.
 
-        The reference loop sweeps every node in index order, each active
-        node performing one unit of work per sweep.  This loop reproduces
-        that order exactly with per-node activity flags: the sweep scans
-        the current-sweep flag array in ascending order (``list.index`` is
-        a C-level scan, and the sentinel True at index ``n_nodes`` marks
-        the end of the sweep); a node activated mid-sweep joins the
-        current sweep if the sweep has not yet passed it (the reference
-        loop would still reach it) and the next sweep otherwise — that
-        split lives in :meth:`_post`, the only place a *different* node
-        can acquire work.  Flag stores are idempotent, so no
-        duplicate-enqueue guards are needed.
+        The scheduling itself lives in
+        :class:`repro.sim.sweep.ActiveSweep`; this method supplies the
+        service callback with every hot attribute pre-bound, so a turn
+        costs one call into the closure and no attribute traversal.
+        New work on *other* nodes is reported by :meth:`_post` poking
+        the policy's flag arrays directly (flag stores are idempotent,
+        so no duplicate-enqueue guards are needed).
         """
         nodes = self.nodes
-        n = self.n_nodes
-        in_current = self._in_current
-        in_next = self._in_next
-        for state in nodes:
-            if state.stack or state.inbox:
-                in_current[state.node_id] = True
-        self._sweep_pos = -1
-        self._sched_active = True
         run_thread = self._run_thread_fast
         process = self._process_message
         deliver = self._deliver
@@ -328,53 +324,36 @@ class TamMachine:
         kind_send = MsgKind.SEND
         kind_reply = MsgKind.REPLY
         kind_pread = MsgKind.PREAD
-        turns = 0
-        try:
-            while True:
-                i = in_current.index(True)
-                while i != n:
-                    in_current[i] = False
-                    self._sweep_pos = i
-                    state = nodes[i]
-                    stack = state.stack
-                    if stack:
-                        frame, label = stack.pop()
-                        run_thread(state, frame, label)
-                    elif state.inbox:
-                        message = state.inbox.popleft()
-                        # Dispatch the dominant kinds inline; the rest go
-                        # through the full _process_message chain.
-                        kind = message.kind
-                        if kind is kind_send or kind is kind_reply:
-                            deliver(state, message)
-                        elif kind is kind_pread:
-                            on_pread(state, message)
-                        else:
-                            process(state, message)
-                    else:  # pragma: no cover - flagged nodes always have work
-                        i = in_current.index(True, i + 1)
-                        continue
-                    turns += 1
-                    if turns > max_turns:
-                        raise TamError(f"TAM run exceeded {max_turns} turns")
-                    if state.stack or state.inbox:
-                        in_next[i] = True
-                    i = in_current.index(True, i + 1)
-                self._sweep_pos = -1
-                if in_next.index(True) == n:
-                    break
-                # Promote: the next sweep's flags become the current
-                # sweep's (the old current array is all-False again).
-                in_current, in_next = in_next, in_current
-                self._in_current = in_current
-                self._in_next = in_next
-        finally:
-            self._sched_active = False
-            self._sweep_pos = -1
-            for i in range(n):
-                in_current[i] = False
-                in_next[i] = False
-        return turns
+
+        def service(state: _NodeState):
+            stack = state.stack
+            if stack:
+                frame, label = stack.pop()
+                run_thread(state, frame, label)
+            elif state.inbox:
+                message = state.inbox.popleft()
+                # Dispatch the dominant kinds inline; the rest go
+                # through the full _process_message chain.
+                kind = message.kind
+                if kind is kind_send or kind is kind_reply:
+                    deliver(state, message)
+                elif kind is kind_pread:
+                    on_pread(state, message)
+                else:
+                    process(state, message)
+            else:  # pragma: no cover - flagged nodes always have work
+                return None
+            return True if (state.stack or state.inbox) else False
+
+        return self._sched.run(
+            nodes,
+            service,
+            initially_active=[
+                state.node_id for state in nodes if state.stack or state.inbox
+            ],
+            max_turns=max_turns,
+            stall=self._turn_stall(max_turns),
+        )
 
     def _check_quiescence(self) -> None:
         """Detect computations that stopped with unsatisfied waiters.
@@ -560,13 +539,16 @@ class TamMachine:
         if node < 0 or node >= self.n_nodes:
             raise TamError(f"message addressed to unknown node {node}")
         self.nodes[node].inbox.append(message)
-        if self._sched_active:
+        sched = self._sched
+        if sched.active:
             # Keep the activity flags in sync: a node the sweep has not
-            # reached yet joins the current sweep, otherwise the next one.
-            if node > self._sweep_pos:
-                self._in_current[node] = True
+            # reached yet joins the current sweep, otherwise the next one
+            # (inlined ActiveSweep.wake — this is the hottest path in a
+            # TAM run).
+            if node > sched.sweep_pos:
+                sched.in_current[node] = True
             else:
-                self._in_next[node] = True
+                sched.in_next[node] = True
 
     def _frame(self, state: _NodeState, frame_id: int) -> Frame:
         try:

@@ -124,3 +124,37 @@ class TestBadReferences:
         machine.boot("spin")
         with pytest.raises(TamError):
             machine.run(max_turns=100)
+
+
+class TestTurnBoundExactness:
+    """``max_turns`` is an exact bound on productive turns.
+
+    Regression pin: the pre-kernel scheduler loops tested
+    ``turns > max_turns`` after incrementing, silently permitting
+    ``max_turns + 1`` productive turns before raising.
+    """
+
+    @staticmethod
+    def two_turn_machine(fast: bool) -> TamMachine:
+        from repro.tam.instructions import ForkInstr
+
+        machine = TamMachine(1, fast=fast)
+        block = Codeblock("two", frame_size=1)
+        block.add_thread("entry", [ForkInstr("second"), StopInstr()])
+        block.add_thread("second", [ConInstr(0, 7), StopInstr()])
+        block.set_entry("entry")
+        machine.load(block)
+        machine.boot("two")
+        return machine
+
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_exact_bound_succeeds(self, fast):
+        machine = self.two_turn_machine(fast)
+        machine.run(max_turns=2)
+        assert machine.turns_executed == 2
+
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_one_below_bound_raises(self, fast):
+        machine = self.two_turn_machine(fast)
+        with pytest.raises(TamError):
+            machine.run(max_turns=1)
