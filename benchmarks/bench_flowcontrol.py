@@ -15,15 +15,23 @@ Two questions, one harness:
   pay only ``is None`` checks (fabric) or nothing at all (TAM, whose
   handlers are swapped per-instance only when a tracer is given).
 
+Every run appends one record to the perf database
+(``results/perfdb/``, :mod:`repro.obs.perfdb`) so
+``python -m repro.obs.report`` can trend the numbers across commits and
+gate regressions; ``BENCH_flowcontrol.json`` remains as the
+latest-run-only legacy view (it is overwritten by design — history lives
+in the perfdb now).
+
 Run standalone::
 
-    python benchmarks/bench_flowcontrol.py
+    python benchmarks/bench_flowcontrol.py [--smoke] [--perfdb DIR]
 
 or through pytest-benchmark::
 
     pytest benchmarks/bench_flowcontrol.py --benchmark-only
 """
 
+import argparse
 import json
 import sys
 import time
@@ -31,11 +39,15 @@ from pathlib import Path
 
 from repro.eval.flowcontrol import hotspot_params, render_flowcontrol, run_hotspot
 from repro.exp.spec import EvalOptions
+from repro.obs import perfdb
 from repro.obs.metrics import MetricsRecorder
+from repro.obs.profiler import SimProfiler, render_profile
 from repro.obs.tracer import Tracer
 from repro.programs.matmul import run_matmul
 
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_flowcontrol.json"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_flowcontrol.json"
+BENCH_NAME = "flowcontrol"
 
 MATMUL_N = 24
 NODES = 16
@@ -66,6 +78,8 @@ def measure(repeats: int = 3) -> dict:
         lambda: run_hotspot(params, tracer=Tracer(), metrics=MetricsRecorder()),
         repeats,
     )
+    profiler = SimProfiler()
+    profiled = _best_of(lambda: run_hotspot(params, profiler=profiler), 1)
     tam_plain = _best_of(
         lambda: run_matmul(n=MATMUL_N, nodes=NODES, verify=False), repeats
     )
@@ -74,10 +88,12 @@ def measure(repeats: int = 3) -> dict:
         repeats,
     )
     return {
+        "schema_version": perfdb.SCHEMA_VERSION,
         "repeats": repeats,
         "hotspot": {
             "untraced_seconds": round(plain, 4),
             "traced_seconds": round(traced, 4),
+            "profiled_seconds": round(profiled, 4),
             "overhead": round(traced / plain - 1.0, 4),
         },
         "kernel": {
@@ -92,19 +108,66 @@ def measure(repeats: int = 3) -> dict:
             "traced_seconds": round(tam_traced, 4),
             "overhead": round(tam_traced / tam_plain - 1.0, 4),
         },
+        "profile": profiler.to_dict(),
     }
 
 
-def main() -> int:
+def perf_record(report: dict, smoke: bool) -> dict:
+    """Flatten one ``measure()`` report into a perfdb record.
+
+    Smoke runs (CI's quick pass) get their own bench name so their
+    single-repeat timings never pollute the full-run trend history.
+    Only the ``*_seconds`` metrics face the regression gate; the profile
+    rides along as meta so the report can print cycle attribution.
+    """
+    return perfdb.make_record(
+        bench=f"{BENCH_NAME}-smoke" if smoke else BENCH_NAME,
+        metrics={
+            "hotspot_untraced_seconds": report["hotspot"]["untraced_seconds"],
+            "hotspot_traced_seconds": report["hotspot"]["traced_seconds"],
+            "hotspot_profiled_seconds": report["hotspot"]["profiled_seconds"],
+            "matmul_untraced_seconds": report["matmul"]["untraced_seconds"],
+            "matmul_traced_seconds": report["matmul"]["traced_seconds"],
+            "trace_overhead": report["hotspot"]["overhead"],
+        },
+        meta={
+            "repeats": report["repeats"],
+            "matmul_n": MATMUL_N,
+            "nodes": NODES,
+            "profile": report["profile"],
+        },
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single repeat, recorded under a separate '-smoke' bench name",
+    )
+    parser.add_argument(
+        "--perfdb",
+        type=Path,
+        default=REPO_ROOT / perfdb.DEFAULT_DB_DIR,
+        help="perf database directory (default: results/perfdb)",
+    )
+    args = parser.parse_args(argv)
+    repeats = 1 if args.smoke else 3
+
     params = hotspot_params(EvalOptions())
     tracer = Tracer()
     metrics = MetricsRecorder()
     payload = run_hotspot(params, tracer=tracer, metrics=metrics)
     print(render_flowcontrol(params, payload))
     print()
-    report = measure()
+    report = measure(repeats)
+    print(render_profile(report["profile"]))
+    print()
     RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {RESULT_PATH}")
+    print(f"wrote {RESULT_PATH} (latest run only)")
+    db_path = perfdb.append_record(args.perfdb, perf_record(report, args.smoke))
+    print(f"appended perfdb record to {db_path}")
     for name, row in (("hotspot", report["hotspot"]), ("matmul", report["matmul"])):
         print(
             f"{name:<8} untraced {row['untraced_seconds']:.3f}s  "

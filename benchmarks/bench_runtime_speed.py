@@ -7,15 +7,23 @@ both interpreter paths, reports wall-clock and turns/sec (a turn is one
 thread run or one message processed), and writes ``BENCH_runtime.json``
 at the repository root so regressions are visible in review diffs.
 
+Every run appends one record to the perf database
+(``results/perfdb/``, :mod:`repro.obs.perfdb`) so
+``python -m repro.obs.report`` can trend interpreter throughput across
+commits and gate regressions; ``BENCH_runtime.json`` remains as the
+latest-run-only legacy view (overwritten by design — history lives in
+the perfdb now).
+
 Run standalone::
 
-    python benchmarks/bench_runtime_speed.py
+    python benchmarks/bench_runtime_speed.py [--smoke] [--perfdb DIR]
 
 or through pytest-benchmark (fast path only, statistical timing)::
 
     pytest benchmarks/bench_runtime_speed.py --benchmark-only
 """
 
+import argparse
 import json
 import os
 import subprocess
@@ -24,6 +32,8 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro.obs import perfdb
+from repro.obs.profiler import SimProfiler, render_profile
 from repro.programs.gamteb import run_gamteb
 from repro.programs.matmul import run_matmul
 from repro.programs.queens import run_queens
@@ -32,15 +42,30 @@ from conftest import GAMTEB_PHOTONS, MATMUL_N, NODES
 
 QUEENS_N = 6
 
-WORKLOADS = {
-    "matmul": lambda fast: run_matmul(n=MATMUL_N, nodes=NODES, fast=fast),
-    "gamteb": lambda fast: run_gamteb(
-        n_photons=GAMTEB_PHOTONS, nodes=NODES, fast=fast
-    ),
-    "queens": lambda fast: run_queens(n=QUEENS_N, nodes=NODES, fast=fast),
-}
+#: Reduced sizes for the CI smoke pass (seconds, not minutes).
+SMOKE_MATMUL_N = 16
+SMOKE_GAMTEB_PHOTONS = 16
+SMOKE_QUEENS_N = 5
 
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+
+def workloads(smoke: bool) -> dict:
+    matmul_n = SMOKE_MATMUL_N if smoke else MATMUL_N
+    photons = SMOKE_GAMTEB_PHOTONS if smoke else GAMTEB_PHOTONS
+    queens_n = SMOKE_QUEENS_N if smoke else QUEENS_N
+    return {
+        "matmul": lambda fast: run_matmul(n=matmul_n, nodes=NODES, fast=fast),
+        "gamteb": lambda fast: run_gamteb(
+            n_photons=photons, nodes=NODES, fast=fast
+        ),
+        "queens": lambda fast: run_queens(n=queens_n, nodes=NODES, fast=fast),
+    }
+
+
+WORKLOADS = workloads(smoke=False)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_runtime.json"
+BENCH_NAME = "runtime"
 
 
 def _time_run(runner, fast: bool, repeats: int):
@@ -56,10 +81,16 @@ def _time_run(runner, fast: bool, repeats: int):
     return best, turns
 
 
-def measure(repeats: int = 3) -> dict:
+def measure(repeats: int = 3, smoke: bool = False) -> dict:
     """Measure every workload on both paths; returns the report dict."""
-    report = {"nodes": NODES, "repeats": repeats, "workloads": {}}
-    for name, runner in WORKLOADS.items():
+    report = {
+        "schema_version": perfdb.SCHEMA_VERSION,
+        "nodes": NODES,
+        "repeats": repeats,
+        "smoke": smoke,
+        "workloads": {},
+    }
+    for name, runner in workloads(smoke).items():
         fast_s, fast_turns = _time_run(runner, True, repeats)
         ref_s, ref_turns = _time_run(runner, False, max(1, repeats - 2))
         assert fast_turns == ref_turns, (
@@ -74,7 +105,45 @@ def measure(repeats: int = 3) -> dict:
             "reference_turns_per_sec": round(ref_turns / ref_s),
             "speedup": round(ref_s / fast_s, 2),
         }
+    # One profiled matmul run: per-node turn attribution plus the
+    # instruction/message mix, carried into the perfdb record's meta so
+    # the report prints where the interpreter's cycles went.
+    profiler = SimProfiler()
+    run_matmul(
+        n=SMOKE_MATMUL_N if smoke else MATMUL_N,
+        nodes=NODES,
+        verify=False,
+        profiler=profiler,
+    )
+    report["profile"] = profiler.to_dict()
     return report
+
+
+def perf_record(report: dict, smoke: bool) -> dict:
+    """Flatten one ``measure()`` report into a perfdb record.
+
+    Smoke runs get a separate bench name so single-repeat reduced-size
+    timings never pollute the full-run trend history.
+    """
+    metrics = {}
+    for name, row in report["workloads"].items():
+        metrics[f"{name}_fast_seconds"] = row["fast_seconds"]
+        metrics[f"{name}_reference_seconds"] = row["reference_seconds"]
+        metrics[f"{name}_turns"] = row["turns"]
+    sections = report.get("sections_wall_clock")
+    if sections:
+        metrics["sections_serial_seconds"] = sections["serial_seconds"]
+        metrics["sections_jobs_seconds"] = sections["jobs_seconds"]
+    return perfdb.make_record(
+        bench=f"{BENCH_NAME}-smoke" if smoke else BENCH_NAME,
+        metrics=metrics,
+        meta={
+            "nodes": report["nodes"],
+            "repeats": report["repeats"],
+            "smoke": smoke,
+            "profile": report["profile"],
+        },
+    )
 
 
 SECTIONS_JOBS = 4
@@ -121,11 +190,31 @@ def measure_sections() -> dict:
     }
 
 
-def main() -> int:
-    report = measure()
-    report["sections_wall_clock"] = measure_sections()
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "single repeat at reduced sizes, skip the sections wall-clock "
+            "comparison, record under a separate '-smoke' bench name"
+        ),
+    )
+    parser.add_argument(
+        "--perfdb",
+        type=Path,
+        default=REPO_ROOT / perfdb.DEFAULT_DB_DIR,
+        help="perf database directory (default: results/perfdb)",
+    )
+    args = parser.parse_args(argv)
+
+    report = measure(repeats=1 if args.smoke else 3, smoke=args.smoke)
+    if not args.smoke:
+        report["sections_wall_clock"] = measure_sections()
     RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {RESULT_PATH}")
+    print(f"wrote {RESULT_PATH} (latest run only)")
+    db_path = perfdb.append_record(args.perfdb, perf_record(report, args.smoke))
+    print(f"appended perfdb record to {db_path}")
     header = f"{'program':<10} {'turns':>8} {'fast':>9} {'reference':>10} {'speedup':>8} {'turns/s':>10}"
     print(header)
     for name, row in report["workloads"].items():
@@ -134,12 +223,15 @@ def main() -> int:
             f"{row['reference_seconds']:>9.3f}s {row['speedup']:>7.2f}x "
             f"{row['fast_turns_per_sec']:>10,}"
         )
-    sections = report["sections_wall_clock"]
-    print(
-        f"sections   serial {sections['serial_seconds']:.3f}s  "
-        f"--jobs {sections['jobs']} {sections['jobs_seconds']:.3f}s  "
-        f"{sections['speedup']:.2f}x  ({sections['cpu_count']} cpus)"
-    )
+    sections = report.get("sections_wall_clock")
+    if sections:
+        print(
+            f"sections   serial {sections['serial_seconds']:.3f}s  "
+            f"--jobs {sections['jobs']} {sections['jobs_seconds']:.3f}s  "
+            f"{sections['speedup']:.2f}x  ({sections['cpu_count']} cpus)"
+        )
+    print()
+    print(render_profile(report["profile"]))
     return 0
 
 

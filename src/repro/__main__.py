@@ -16,8 +16,10 @@ Options::
     python -m repro --jobs 4          # fan sections out across processes
     python -m repro --json-dir out/   # artifact directory (default results/)
     python -m repro --profile         # print timing spans and counters
+    python -m repro --profile-sim     # in-run per-component cycle attribution
     python -m repro --trace           # record message-path traces
     python -m repro --trace-dir t/    # trace artifact directory (implies --trace)
+    python -m repro --perfdb          # append section timings to results/perfdb
 """
 
 from __future__ import annotations
@@ -28,7 +30,7 @@ from pathlib import Path
 
 from repro.exp import registry
 from repro.exp.artifacts import write_artifact
-from repro.exp.runner import iter_experiments
+from repro.exp.runner import iter_experiments, record_outcomes
 from repro.exp.spec import EvalOptions
 from repro.utils.profiling import PROFILER
 
@@ -53,6 +55,28 @@ def main(argv=None) -> int:
         "--profile",
         action="store_true",
         help="time each section and the TAM runtime; print a report at the end",
+    )
+    parser.add_argument(
+        "--profile-sim",
+        action="store_true",
+        help=(
+            "attach the simulation profiler in sections that support it: "
+            "per-component cycle/time attribution inside each run, printed "
+            "with the section report (distinct from --profile, which times "
+            "whole sections from the host side)"
+        ),
+    )
+    parser.add_argument(
+        "--perfdb",
+        type=Path,
+        nargs="?",
+        const=Path("results") / "perfdb",
+        default=None,
+        help=(
+            "append one perf record per section to this cross-run database "
+            "(default directory when given bare: results/perfdb); trend and "
+            "gate them with python -m repro.obs.report"
+        ),
     )
     parser.add_argument(
         "--skip",
@@ -130,6 +154,7 @@ def main(argv=None) -> int:
         paper_scale=args.paper_scale,
         trace=trace,
         trace_dir=str(trace_dir) if trace else None,
+        profile_sim=args.profile_sim,
     )
 
     def banner(title: str) -> None:
@@ -141,12 +166,18 @@ def main(argv=None) -> int:
     outcomes = iter_experiments(
         specs, options, jobs=args.jobs, cache_dir=args.cache_dir
     )
+    finished = []
     for outcome in outcomes:
         banner(outcome.title)
         print(outcome.text)
         if not args.no_json:
             path = write_artifact(args.json_dir, outcome.artifact)
             print(f"[artifact] {path}")
+        finished.append(outcome)
+
+    if args.perfdb is not None:
+        for path in record_outcomes(args.perfdb, finished):
+            print(f"[perfdb] {path}")
 
     if args.profile:
         print()

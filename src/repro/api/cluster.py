@@ -32,6 +32,7 @@ from repro.node.handlers import (
 )
 from repro.node.node import Node
 from repro.obs.metrics import MetricsRecorder
+from repro.obs.profiler import SimProfiler
 from repro.obs.tracer import Tracer
 from repro.sim import SimComponent, SimKernel
 
@@ -106,6 +107,7 @@ class Cluster:
         serialization_cycles: int = 6,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRecorder] = None,
+        profiler: Optional[SimProfiler] = None,
     ) -> None:
         self.topology = topology or Mesh2D(2, 2)
         self.nodes: List[Node] = [
@@ -128,6 +130,11 @@ class Cluster:
         self._kernel.register(_FabricComponent(self.fabric))
         for node in self.nodes:
             self._kernel.register(_NodeComponent(node))
+        # Per-component cycle attribution across every run() this
+        # cluster performs; None keeps the kernel's unprofiled loop.
+        self.profiler = profiler
+        if profiler is not None:
+            self._kernel.attach_profiler(profiler)
 
     def node(self, node_id: int) -> Node:
         self.topology.check_node(node_id)

@@ -68,6 +68,11 @@ class EvaluationError(ReproError):
     """An evaluation harness was asked for an unknown experiment or model."""
 
 
+class ReconciliationError(ReproError):
+    """Two independent accountings of the same run disagree (e.g. the
+    profiler's tick attribution versus the tracer's event counts)."""
+
+
 class SimulationError(ReproError):
     """The simulation kernel was misconfigured or misused."""
 

@@ -37,9 +37,12 @@ from repro.network.topology import Mesh2D
 from repro.nic.interface import NetworkInterface, SendResult
 from repro.nic.messages import pack_destination
 from repro.obs.metrics import MetricsRecorder
+from repro.obs.profiler import SimProfiler, reconcile, render_profile
 from repro.obs.tracer import (
     ALL_KINDS,
+    NEXT,
     REFUSE,
+    SEND,
     SEND_STALL,
     Tracer,
 )
@@ -171,6 +174,7 @@ def hotspot_params(options: EvalOptions) -> Dict:
         "link_buffer_depth": 2,
         "serialization_cycles": 2,
         "trace_dir": options.trace_dir if options.trace else None,
+        "profile_sim": options.profile_sim,
     }
 
 
@@ -178,6 +182,7 @@ def run_hotspot(
     params: Dict,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRecorder] = None,
+    profiler: Optional[SimProfiler] = None,
 ) -> Dict:
     """Run the hot-spot workload; returns a plain (picklable) payload.
 
@@ -243,6 +248,8 @@ def run_hotspot(
     receiver.handle.wake_at(receiver.interval)
     clock = _FabricClock(fabric)
     kernel.register(clock)
+    if profiler is not None:
+        kernel.attach_profiler(profiler)
 
     result = kernel.run(
         max_cycles=MAX_CYCLES, stall_error=NetworkError, label="hot-spot workload"
@@ -319,25 +326,71 @@ def _chain_timeline(
 def compute_flowcontrol(params: Dict) -> Dict:
     """Run the traced hot-spot; optionally write the trace artifacts.
 
-    The tracer and metrics recorder live only inside this function — the
-    payload carries plain dictionaries so the section stays picklable
-    for the ``--jobs`` fan-out.
+    The tracer, metrics recorder, and profiler live only inside this
+    function — the payload carries plain dictionaries so the section
+    stays picklable for the ``--jobs`` fan-out.
     """
     tracer = Tracer()
     metrics = MetricsRecorder()
-    payload = run_hotspot(params, tracer=tracer, metrics=metrics)
+    profiler = (
+        SimProfiler(sample_interval=64) if params.get("profile_sim") else None
+    )
+    payload = run_hotspot(params, tracer=tracer, metrics=metrics, profiler=profiler)
+    if profiler is not None:
+        metrics.feed_profiler(profiler)
+        payload["profile"] = profiler.to_dict()
     trace_dir = params.get("trace_dir")
     if trace_dir:
         directory = Path(trace_dir)
         directory.mkdir(parents=True, exist_ok=True)
         trace_path = directory / "flowcontrol_trace.json"
-        write_chrome_trace(trace_path, tracer, metrics)
+        write_chrome_trace(trace_path, tracer, metrics, profiler)
         metrics_path = directory / "flowcontrol_metrics.json"
         metrics_path.write_text(
             json.dumps(metrics.to_dict(), indent=2) + "\n"
         )
         payload["trace_files"] = [str(trace_path), str(metrics_path)]
     return payload
+
+
+def reconcile_hotspot(
+    profiler: SimProfiler, tracer: Tracer, payload: Dict
+) -> None:
+    """Cross-validate the profiler's tick attribution against the trace.
+
+    Opt-in (tests and debugging, never the hot path).  The invariants
+    hold by construction of the workload:
+
+    * every sender tick performs exactly one SEND attempt, so the
+      senders' serviced ticks must equal the traced ``send`` plus
+      ``stall`` events;
+    * the fabric ticks every cycle, so its serviced ticks must equal the
+      run's cycle count;
+    * the receiver retires one message per successful ``NEXT``, so the
+      traced ``next`` events must equal the serviced-message total.
+
+    Raises :class:`~repro.errors.ReconciliationError` on any mismatch.
+    """
+    sender_ticks = 0
+    fabric_ticks = None
+    for profile in profiler.kernel_components:
+        if profile.name.startswith("sender"):
+            sender_ticks += profile.ticks
+        elif profile.name == "fabric":
+            fabric_ticks = profile.ticks
+    reconcile(
+        {
+            "sender ticks vs send attempts": (
+                sender_ticks,
+                tracer.count(SEND) + tracer.count(SEND_STALL),
+            ),
+            "fabric ticks vs run cycles": (fabric_ticks, payload["cycles"]),
+            "serviced messages vs NEXT events": (
+                payload["serviced"],
+                tracer.count(NEXT),
+            ),
+        }
+    )
 
 
 def render_flowcontrol(params: Dict, payload: Dict) -> str:
@@ -372,6 +425,9 @@ def render_flowcontrol(params: Dict, payload: Dict) -> str:
         ],
     )
     lines = [timeline, "", totals]
+    profile = payload.get("profile")
+    if profile:
+        lines.extend(["", render_profile(profile)])
     trace = payload.get("trace")
     if trace:
         lines.append(

@@ -28,11 +28,17 @@ class EvalOptions:
     ``trace_event`` JSON and metrics time-series.  Both stay plain data
     (a string path, not a Path object with host semantics baked in) so
     options pickle cleanly into ``--jobs`` worker processes.
+
+    ``profile_sim`` opts sections that support it into simulation-level
+    profiling (:mod:`repro.obs.profiler`): per-component cycle/time
+    attribution inside the run, reported next to the section text.  This
+    is distinct from the driver's ``--profile`` host-level span timing.
     """
 
     paper_scale: bool = False
     trace: bool = False
     trace_dir: Optional[str] = None
+    profile_sim: bool = False
 
 
 @dataclass(frozen=True)

@@ -8,7 +8,12 @@ Three pieces, all zero-cost when not attached:
   depths, link utilization, in-flight counts) with histograms,
   percentiles, and the almost-full threshold-crossing timeline;
 * :mod:`repro.obs.chrome` — Chrome ``trace_event`` JSON export, loadable
-  in ``chrome://tracing`` / Perfetto.
+  in ``chrome://tracing`` / Perfetto;
+* :mod:`repro.obs.profiler` — kernel-attached per-component cycle/time
+  attribution plus the counter/gauge registry the other layers feed;
+* :mod:`repro.obs.perfdb` / :mod:`repro.obs.report` — the append-only
+  cross-run performance database the benchmarks write and the trend /
+  regression report (``python -m repro.obs.report``) built on it.
 
 The fabric, routers, interfaces, and the TAM runtime accept a tracer
 (and the fabric a metrics recorder); ``python -m repro --trace`` and
@@ -21,6 +26,12 @@ from repro.obs.metrics import (
     MetricsRecorder,
     ThresholdCrossing,
     TimeSeries,
+)
+from repro.obs.profiler import (
+    ComponentProfile,
+    SimProfiler,
+    reconcile,
+    render_profile,
 )
 from repro.obs.tracer import (
     ALL_KINDS,
@@ -56,13 +67,17 @@ __all__ = [
     "SEND_STALL",
     "TAM_HANDLE",
     "TAM_POST",
+    "ComponentProfile",
     "Histogram",
     "MetricsRecorder",
+    "SimProfiler",
     "ThresholdCrossing",
     "TimeSeries",
     "TraceEvent",
     "Tracer",
     "chrome_trace",
     "chrome_trace_events",
+    "reconcile",
+    "render_profile",
     "write_chrome_trace",
 ]

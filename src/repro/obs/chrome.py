@@ -10,7 +10,10 @@ https://ui.perfetto.dev:
   the detail fields as ``args``;
 * every metrics series becomes a *counter* track (``ph: "C"``), so queue
   depths and in-flight counts render as area charts over the events;
-* threshold crossings become instant events on a dedicated counter pid.
+* threshold crossings become instant events on a dedicated counter pid;
+* a profiler's sampled tick attribution becomes one stacked counter
+  track (``ph: "C"`` on its own pid), so per-component serviced work
+  renders as an area chart aligned with the event timeline.
 
 Simulated cycles (or TAM turns) map one-to-one onto trace microseconds —
 the viewer's time axis reads directly as cycles.
@@ -23,12 +26,15 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.obs.metrics import MetricsRecorder
+from repro.obs.profiler import SimProfiler
 from repro.obs.tracer import Tracer
 
 #: pid used for per-node event tracks.
 EVENTS_PID = 0
 #: pid used for counter (metrics) tracks.
 COUNTERS_PID = 1
+#: pid used for the profiler's tick-attribution counter track.
+PROFILER_PID = 2
 
 
 def _jsonable(value: Any) -> Any:
@@ -40,8 +46,9 @@ def _jsonable(value: Any) -> Any:
 def chrome_trace_events(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRecorder] = None,
+    profiler: Optional[SimProfiler] = None,
 ) -> List[Dict[str, Any]]:
-    """The ``traceEvents`` list for ``tracer`` and/or ``metrics``."""
+    """The ``traceEvents`` list for ``tracer``/``metrics``/``profiler``."""
     events: List[Dict[str, Any]] = []
     if tracer is not None:
         nodes = set()
@@ -96,16 +103,40 @@ def chrome_trace_events(
                     "args": {"queue": crossing.queue, "node": crossing.node},
                 }
             )
+    if profiler is not None and profiler.samples:
+        # The samples are cumulative serviced ticks; the counter track
+        # plots the per-window deltas so the chart reads as "work done
+        # per sample interval", stacked by component.
+        names = [c.name for c in profiler.kernel_components]
+        previous = (0,) * len(names)
+        for cycle, cumulative in profiler.samples:
+            args = {
+                name: cumulative[index] - previous[index]
+                for index, name in enumerate(names)
+                if index < len(cumulative)
+            }
+            previous = cumulative
+            events.append(
+                {
+                    "name": "serviced ticks",
+                    "cat": "profile",
+                    "ph": "C",
+                    "ts": cycle,
+                    "pid": PROFILER_PID,
+                    "args": args,
+                }
+            )
     return events
 
 
 def chrome_trace(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRecorder] = None,
+    profiler: Optional[SimProfiler] = None,
 ) -> Dict[str, Any]:
     """The full JSON-object-format document (``chrome://tracing`` input)."""
     document: Dict[str, Any] = {
-        "traceEvents": chrome_trace_events(tracer, metrics),
+        "traceEvents": chrome_trace_events(tracer, metrics, profiler),
         "displayTimeUnit": "ms",
         "otherData": {"timebase": "1 trace microsecond = 1 simulated cycle"},
     }
@@ -118,9 +149,10 @@ def write_chrome_trace(
     path: Path,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRecorder] = None,
+    profiler: Optional[SimProfiler] = None,
 ) -> Path:
     """Write the trace document to ``path``; returns the path written."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(chrome_trace(tracer, metrics)) + "\n")
+    path.write_text(json.dumps(chrome_trace(tracer, metrics, profiler)) + "\n")
     return path

@@ -1,0 +1,156 @@
+"""The append-only cross-run performance database.
+
+One benchmark run = one JSON record appended to
+``results/perfdb/<bench>.jsonl``.  Appending never rewrites history —
+this is the fix for the old ``BENCH_*.json`` files, which each run
+silently overwrote, so a regression could only ever be compared against
+the single run that happened to come before it.
+
+Each record carries the identity needed to compare runs honestly later:
+
+* ``bench`` — the benchmark name (one JSONL file per bench);
+* ``sha`` — the git commit the run measured (``unknown`` outside a
+  checkout), so trends line up with history;
+* ``host`` — a stable fingerprint of the machine and interpreter, so the
+  report (:mod:`repro.obs.report`) never compares wall-clock numbers
+  across different hardware;
+* ``metrics`` — the flat name→number map; wall-clock metrics end in
+  ``_seconds`` and are the only ones the regression gate judges;
+* ``meta`` — free-form context (per-component cycle attribution,
+  parameters, iteration counts) kept out of the gate's way.
+
+The module is dependency-free (stdlib only) and does no statistics —
+loading, fingerprinting, and appending live here; the trend math lives
+in :mod:`repro.obs.report`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+#: Bump when the record layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Default database directory, relative to the repo root.
+DEFAULT_DB_DIR = Path("results") / "perfdb"
+
+
+def host_fingerprint() -> str:
+    """A short stable id for this machine + interpreter combination.
+
+    Wall-clock comparisons only make sense within one fingerprint; the
+    report partitions history by it.
+    """
+    basis = "|".join(
+        (
+            platform.system(),
+            platform.machine(),
+            platform.processor(),
+            platform.python_implementation(),
+            platform.python_version(),
+        )
+    )
+    return hashlib.sha256(basis.encode()).hexdigest()[:12]
+
+
+def git_sha(root: Optional[Path] = None) -> str:
+    """The current commit's short SHA, or ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(root) if root else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def make_record(
+    bench: str,
+    metrics: Mapping[str, float],
+    meta: Optional[Mapping[str, Any]] = None,
+    sha: Optional[str] = None,
+    host: Optional[str] = None,
+    timestamp: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Assemble one perfdb record (plain JSON types throughout)."""
+    if not bench:
+        raise ValueError("bench name must be non-empty")
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": bench,
+        "sha": sha if sha is not None else git_sha(),
+        "host": host if host is not None else host_fingerprint(),
+        "timestamp": round(
+            timestamp if timestamp is not None else time.time(), 3
+        ),
+        "metrics": {name: value for name, value in metrics.items()},
+        "meta": dict(meta) if meta else {},
+    }
+
+
+def bench_path(db_dir: Path, bench: str) -> Path:
+    """Where ``bench``'s history lives under ``db_dir``."""
+    safe = bench.replace("/", "_")
+    return Path(db_dir) / f"{safe}.jsonl"
+
+
+def append_record(db_dir: Path, record: Mapping[str, Any]) -> Path:
+    """Append one record to its bench's JSONL file; returns the path."""
+    path = bench_path(db_dir, record["bench"])
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(db_dir: Path, bench: str) -> List[Dict[str, Any]]:
+    """All records for ``bench``, oldest first (file order).
+
+    Unparseable or wrong-schema lines are skipped, not fatal — an
+    append-only log accumulated across commits may contain formats this
+    checkout no longer reads.
+    """
+    path = bench_path(db_dir, bench)
+    if not path.exists():
+        return []
+    records: List[Dict[str, Any]] = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if (
+            isinstance(record, dict)
+            and record.get("schema_version") == SCHEMA_VERSION
+            and isinstance(record.get("metrics"), dict)
+        ):
+            records.append(record)
+    return records
+
+
+def load_all(db_dir: Path) -> Dict[str, List[Dict[str, Any]]]:
+    """Every bench's history under ``db_dir``, keyed by bench name."""
+    db_dir = Path(db_dir)
+    if not db_dir.is_dir():
+        return {}
+    history: Dict[str, List[Dict[str, Any]]] = {}
+    for path in sorted(db_dir.glob("*.jsonl")):
+        records = load_bench(db_dir, path.stem)
+        if records:
+            history[records[0]["bench"]] = records
+    return history

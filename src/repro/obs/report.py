@@ -1,0 +1,387 @@
+"""Cross-run trend report and regression gate over the perf database.
+
+Usage::
+
+    python -m repro.obs.report                      # markdown to stdout
+    python -m repro.obs.report --check              # exit 1 on regression
+    python -m repro.obs.report --html report.html   # self-contained HTML
+
+Reads the append-only history written by the benchmarks
+(:mod:`repro.obs.perfdb`), computes robust per-metric trends, and flags
+regressions.  The statistics are deliberately boring and robust:
+
+* comparisons happen only within one host fingerprint — wall-clock
+  numbers from different machines never meet;
+* the **baseline** is the *median* of every prior same-host run, so one
+  historic outlier cannot shift it;
+* the **noise band** is the scaled median absolute deviation
+  (``1.4826 × MAD``, the consistent estimator of the standard deviation
+  under normal noise), so the gate learns each bench's natural jitter
+  from its own history;
+* a metric **regresses** when the latest value exceeds
+  ``baseline + band + threshold × baseline`` (threshold defaults to
+  10%) — it must clear both the observed noise and the relative margin;
+* the gate arms only once two prior same-host runs exist (a single
+  history point gives a zero-width noise band, which would flag ordinary
+  jitter); until then timings report ``needs-history``;
+* only wall-clock metrics (names ending ``_seconds``) are gated; counts
+  and cycle totals are reported as trend context but a deterministic
+  change to them is a correctness question, not a perf regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import html as _html
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.perfdb import DEFAULT_DB_DIR, host_fingerprint, load_all
+from repro.obs.profiler import render_profile
+
+#: Default relative-margin threshold for the regression gate.
+DEFAULT_THRESHOLD = 0.10
+
+#: Scale factor turning a MAD into a consistent sigma estimate.
+MAD_SIGMA = 1.4826
+
+#: How many trailing values the trend column shows.
+TREND_WINDOW = 8
+
+
+def median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("median of empty sequence")
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def noise_band(values: Sequence[float], center: float) -> float:
+    """``1.4826 × MAD`` around ``center`` (0.0 for < 2 samples)."""
+    if len(values) < 2:
+        return 0.0
+    return MAD_SIGMA * median([abs(v - center) for v in values])
+
+
+def analyze_metric(
+    name: str,
+    history: Sequence[float],
+    current: float,
+    threshold: float,
+) -> Dict[str, Any]:
+    """Judge one metric's latest value against its same-host history."""
+    gated = name.endswith("_seconds")
+    entry: Dict[str, Any] = {
+        "name": name,
+        "current": current,
+        "gated": gated,
+        "history": list(history[-TREND_WINDOW:]),
+        "regressed": False,
+    }
+    if not history:
+        entry["status"] = "no-history"
+        return entry
+    baseline = median(history)
+    band = noise_band(history, baseline)
+    limit = baseline + band + threshold * baseline
+    entry["baseline"] = baseline
+    entry["band"] = band
+    entry["limit"] = limit
+    entry["delta"] = (current - baseline) / baseline if baseline else 0.0
+    if gated and len(history) < 2:
+        entry["status"] = "needs-history"
+    elif gated and baseline > 0 and current > limit:
+        entry["regressed"] = True
+        entry["status"] = "REGRESSED"
+    elif gated:
+        entry["status"] = "ok"
+    else:
+        entry["status"] = "info"
+    return entry
+
+
+def analyze_bench(
+    bench: str,
+    records: Sequence[Dict[str, Any]],
+    threshold: float = DEFAULT_THRESHOLD,
+    host: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Trend + verdict for one bench's history (same-host records only)."""
+    host = host or host_fingerprint()
+    same = [r for r in records if r.get("host") == host]
+    report: Dict[str, Any] = {
+        "bench": bench,
+        "host": host,
+        "runs": len(same),
+        "runs_all_hosts": len(records),
+        "metrics": [],
+        "regressed": False,
+    }
+    if not same:
+        report["status"] = "no-runs-on-this-host"
+        return report
+    current = same[-1]
+    report["sha"] = current.get("sha", "unknown")
+    profile = current.get("meta", {}).get("profile")
+    if isinstance(profile, dict) and profile.get("components"):
+        report["profile"] = profile
+    history = same[:-1]
+    if not history:
+        report["status"] = "first-run-on-this-host"
+    for name, value in sorted(current["metrics"].items()):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        prior = [
+            r["metrics"][name]
+            for r in history
+            if isinstance(r["metrics"].get(name), (int, float))
+        ]
+        entry = analyze_metric(name, prior, float(value), threshold)
+        report["metrics"].append(entry)
+        if entry["regressed"]:
+            report["regressed"] = True
+    if "status" not in report:
+        report["status"] = "REGRESSED" if report["regressed"] else "ok"
+    return report
+
+
+def analyze_db(
+    db_dir: Path,
+    threshold: float = DEFAULT_THRESHOLD,
+    host: Optional[str] = None,
+    benches: Optional[Sequence[str]] = None,
+) -> List[Dict[str, Any]]:
+    """One report per bench in the database, bench-name order."""
+    history = load_all(db_dir)
+    reports = []
+    for bench in sorted(history):
+        if benches and bench not in benches:
+            continue
+        reports.append(analyze_bench(bench, history[bench], threshold, host))
+    return reports
+
+
+# ----------------------------------------------------------------------
+# Rendering.
+# ----------------------------------------------------------------------
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4f}" if abs(value) < 1000 else f"{value:,.1f}"
+    return f"{int(value):,}"
+
+
+def _trend(values: Sequence[float]) -> str:
+    return " ".join(_fmt(v) for v in values) if values else "-"
+
+
+def render_markdown(reports: Sequence[Dict[str, Any]], threshold: float) -> str:
+    """The terminal/markdown face of the report."""
+    lines = [
+        "# Performance observatory",
+        "",
+        f"host `{reports[0]['host']}`, gate threshold "
+        f"{threshold:.0%} over the noise band"
+        if reports
+        else "_empty perf database — run a benchmark with `--perfdb` first_",
+    ]
+    for report in reports:
+        lines += [
+            "",
+            f"## {report['bench']} — {report['status']}",
+            "",
+            f"{report['runs']} run(s) on this host "
+            f"({report['runs_all_hosts']} total), "
+            f"latest sha `{report.get('sha', 'unknown')}`",
+        ]
+        if not report["metrics"]:
+            continue
+        lines += [
+            "",
+            "| metric | current | baseline | noise | limit | Δ | status | trend |",
+            "| --- | --- | --- | --- | --- | --- | --- | --- |",
+        ]
+        for entry in report["metrics"]:
+            delta = entry.get("delta")
+            lines.append(
+                "| {name} | {current} | {baseline} | {band} | {limit} "
+                "| {delta} | {status} | {trend} |".format(
+                    name=f"`{entry['name']}`",
+                    current=_fmt(entry["current"]),
+                    baseline=_fmt(entry.get("baseline")),
+                    band=_fmt(entry.get("band")),
+                    limit=_fmt(entry.get("limit")) if entry["gated"] else "-",
+                    delta=f"{delta:+.1%}" if delta is not None else "-",
+                    status="**REGRESSED**"
+                    if entry["regressed"]
+                    else entry["status"],
+                    trend=_trend(entry["history"]),
+                )
+            )
+        if report.get("profile"):
+            lines += ["", "```", render_profile(report["profile"]), "```"]
+    regressions = [r["bench"] for r in reports if r["regressed"]]
+    lines += [
+        "",
+        f"**{len(regressions)} regression(s): {', '.join(regressions)}**"
+        if regressions
+        else "No regressions flagged.",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+_HTML_STYLE = """
+body { font: 14px/1.5 -apple-system, 'Segoe UI', sans-serif; margin: 2em auto;
+       max-width: 72em; color: #1a1a2e; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #cfd4dc; padding: 0.3em 0.7em; text-align: right; }
+th, td:first-child { text-align: left; }
+th { background: #eef1f5; }
+.ok { color: #1a7f37; } .bad { color: #b31d28; font-weight: bold; }
+.info { color: #57606a; }
+code { background: #f3f4f6; padding: 0 0.25em; }
+"""
+
+
+def render_html(reports: Sequence[Dict[str, Any]], threshold: float) -> str:
+    """A self-contained HTML document (the CI artifact)."""
+
+    def esc(text: Any) -> str:
+        return _html.escape(str(text))
+
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        "<title>Performance observatory</title>",
+        f"<style>{_HTML_STYLE}</style></head><body>",
+        "<h1>Performance observatory</h1>",
+    ]
+    if reports:
+        parts.append(
+            f"<p>host <code>{esc(reports[0]['host'])}</code>, gate threshold "
+            f"{threshold:.0%} over the noise band</p>"
+        )
+    else:
+        parts.append("<p><em>empty perf database</em></p>")
+    for report in reports:
+        cls = "bad" if report["regressed"] else "ok"
+        parts.append(
+            f"<h2>{esc(report['bench'])} — "
+            f"<span class='{cls}'>{esc(report['status'])}</span></h2>"
+            f"<p>{report['runs']} run(s) on this host "
+            f"({report['runs_all_hosts']} total), latest sha "
+            f"<code>{esc(report.get('sha', 'unknown'))}</code></p>"
+        )
+        if not report["metrics"]:
+            continue
+        parts.append(
+            "<table><tr><th>metric</th><th>current</th><th>baseline</th>"
+            "<th>noise</th><th>limit</th><th>Δ</th><th>status</th>"
+            "<th>trend</th></tr>"
+        )
+        for entry in report["metrics"]:
+            delta = entry.get("delta")
+            status_cls = (
+                "bad"
+                if entry["regressed"]
+                else ("ok" if entry["status"] == "ok" else "info")
+            )
+            parts.append(
+                "<tr><td><code>{name}</code></td><td>{current}</td>"
+                "<td>{baseline}</td><td>{band}</td><td>{limit}</td>"
+                "<td>{delta}</td><td class='{cls}'>{status}</td>"
+                "<td>{trend}</td></tr>".format(
+                    name=esc(entry["name"]),
+                    current=_fmt(entry["current"]),
+                    baseline=_fmt(entry.get("baseline")),
+                    band=_fmt(entry.get("band")),
+                    limit=_fmt(entry.get("limit")) if entry["gated"] else "-",
+                    delta=f"{delta:+.1%}" if delta is not None else "-",
+                    cls=status_cls,
+                    status=esc(entry["status"]),
+                    trend=esc(_trend(entry["history"])),
+                )
+            )
+        parts.append("</table>")
+        if report.get("profile"):
+            parts.append(
+                f"<pre>{esc(render_profile(report['profile']))}</pre>"
+            )
+    regressions = [r["bench"] for r in reports if r["regressed"]]
+    parts.append(
+        f"<p class='bad'>{len(regressions)} regression(s): "
+        f"{esc(', '.join(regressions))}</p>"
+        if regressions
+        else "<p class='ok'>No regressions flagged.</p>"
+    )
+    parts.append("</body></html>")
+    return "".join(parts) + "\n"
+
+
+# ----------------------------------------------------------------------
+# CLI.
+# ----------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Cross-run perf trends and the regression gate.",
+    )
+    parser.add_argument(
+        "--db",
+        default=str(DEFAULT_DB_DIR),
+        help=f"perf database directory (default: {DEFAULT_DB_DIR})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative regression margin over the noise band (default 0.10)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any gated metric regressed (the CI gate)",
+    )
+    parser.add_argument(
+        "--bench",
+        action="append",
+        help="restrict to this bench (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--host",
+        help="compare within this host fingerprint (default: this machine)",
+    )
+    parser.add_argument("--html", help="also write a self-contained HTML report")
+    parser.add_argument("--markdown", help="also write the markdown report")
+    args = parser.parse_args(argv)
+
+    reports = analyze_db(
+        Path(args.db), args.threshold, host=args.host, benches=args.bench
+    )
+    markdown = render_markdown(reports, args.threshold)
+    print(markdown, end="")
+    if args.markdown:
+        path = Path(args.markdown)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(markdown)
+    if args.html:
+        path = Path(args.html)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(render_html(reports, args.threshold))
+        print(f"[report] {path}", file=sys.stderr)
+    if args.check and any(r["regressed"] for r in reports):
+        print("[report] regression gate FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -467,19 +467,21 @@ class MatmulResult:
 
 def run_matmul(
     n: int = 16, nodes: int = 16, verify: bool = True, fast: bool = True,
-    tracer=None,
+    tracer=None, profiler=None,
 ) -> MatmulResult:
     """Run an n×n blocked matrix multiply on a TAM machine of ``nodes``.
 
     ``fast=False`` selects the reference interpreter (identical results,
     used by the golden equivalence tests).  ``tracer`` opts the machine
-    into message-path event tracing (:mod:`repro.obs.tracer`); results
-    and statistics are identical with or without one.
+    into message-path event tracing (:mod:`repro.obs.tracer`);
+    ``profiler`` into per-node turn attribution and instruction-mix
+    counters (:mod:`repro.obs.profiler`); results and statistics are
+    identical with or without either.
     """
     if n % BLOCK:
         raise TamError(f"matrix size {n} must be a multiple of {BLOCK}")
     nb = n // BLOCK
-    machine = TamMachine(nodes, fast=fast, tracer=tracer)
+    machine = TamMachine(nodes, fast=fast, tracer=tracer, profiler=profiler)
     driver = build_driver_codeblock(nb)
     done_inlet = 5  # in_done in the driver's inlet numbering
     machine.load(build_block_codeblock(nb, done_inlet=done_inlet))

@@ -9,6 +9,13 @@ the machine.
 Components are duck-typed — subclassing :class:`SimComponent` is
 convenient (it supplies the defaults) but not required; any object with
 ``tick``/``quiescent``/``snapshot`` and a ``name`` can be registered.
+
+Profiling never leaks into this contract: when a
+:class:`~repro.obs.profiler.SimProfiler` is attached the kernel keeps
+every attribution row on its own side (indexed by registration order),
+so a component is never written to, subclassed, or wrapped to be
+profiled — the zero-cost-off tests assert a component's attribute set is
+identical across profiled and unprofiled runs.
 """
 
 from __future__ import annotations

@@ -24,6 +24,14 @@ makes runs reproducible bit for bit:
 * **Hooks** — ``add_cycle_hook`` registers a callable invoked after
   every cycle with the cycle number; this is where obs metrics sampling
   or tracing cadence attaches without the workload loop knowing.
+* **Profiling** — ``attach_profiler`` installs a
+  :class:`~repro.obs.profiler.SimProfiler` that attributes serviced
+  ticks and wall-clock time per component.  The attachment is
+  identity-guarded like the tracer: with no profiler the kernel runs the
+  original loop unchanged (byte-identical behaviour, zero overhead) and
+  never writes a profiling attribute onto any component; with one, the
+  kernel switches to a separate instrumented loop with the same
+  execution semantics.
 
 Stop conditions are evaluated *before* each cycle, so a machine that is
 already quiescent runs zero cycles, and the returned cycle count is
@@ -33,9 +41,13 @@ exactly the number of service rounds executed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.errors import SimStallError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs uses sim types)
+    from repro.obs.profiler import SimProfiler
 
 
 @dataclass
@@ -102,6 +114,7 @@ class SimKernel:
         self._awake: List[bool] = [True]
         self._timed: Dict[int, int] = {}
         self._hooks: List[Callable[[int], None]] = []
+        self._profiler: Optional["SimProfiler"] = None
         self._running = False
 
     # ------------------------------------------------------------------
@@ -127,6 +140,21 @@ class SimKernel:
     def add_cycle_hook(self, hook: Callable[[int], None]) -> None:
         """Run ``hook(cycle)`` after every executed cycle."""
         self._hooks.append(hook)
+
+    def attach_profiler(self, profiler: Optional["SimProfiler"]) -> None:
+        """Install (or with ``None`` remove) the kernel's profiler.
+
+        Attribution rows are bound to components by registration index
+        at run start, so attaching before or after registration both
+        work; attaching mid-run does not.
+        """
+        if self._running:
+            raise SimulationError("cannot attach a profiler mid-run")
+        self._profiler = profiler
+
+    @property
+    def profiler(self) -> Optional["SimProfiler"]:
+        return self._profiler
 
     @property
     def handles(self) -> List[SimHandle]:
@@ -168,6 +196,8 @@ class SimKernel:
         start = self.cycle
         self._running = True
         try:
+            if self._profiler is not None:
+                return self._run_profiled(max_cycles, until, stall_error, label)
             while True:
                 if until is not None:
                     if until():
@@ -190,6 +220,66 @@ class SimKernel:
                     hook(cycle)
         finally:
             self._running = False
+
+    def _run_profiled(
+        self,
+        max_cycles: int,
+        until: Optional[Callable[[], bool]],
+        stall_error: Callable[[str], BaseException],
+        label: str,
+    ) -> SimResult:
+        """The instrumented twin of the :meth:`run` loop.
+
+        Execution semantics are identical — same stop conditions, same
+        timed-wake promotion, same scan order — with per-tick timing and
+        attribution added.  The determinism test pins the two loops to
+        byte-identical simulation results.
+        """
+        profiler = self._profiler
+        components = self._components
+        awake = self._awake
+        timed = self._timed
+        hooks = self._hooks
+        n = len(components)
+        start = self.cycle
+        profiles = profiler.bind_components([h.name for h in self._handles])
+        interval = profiler.sample_interval
+        next_sample = start + interval
+        profiler.runs += 1
+        try:
+            while True:
+                if until is not None:
+                    if until():
+                        return SimResult(self.cycle - start, "predicate")
+                elif all(c.quiescent() for c in components):
+                    return SimResult(self.cycle - start, "quiescent")
+                if self.cycle - start >= max_cycles:
+                    raise stall_error(self._stall_report(label, max_cycles))
+                self.cycle = cycle = self.cycle + 1
+                if timed:
+                    due = [i for i, at in timed.items() if at <= cycle]
+                    for i in due:
+                        del timed[i]
+                        awake[i] = True
+                        profiles[i].timed_wakes += 1
+                i = awake.index(True)
+                while i != n:
+                    t0 = perf_counter()
+                    components[i].tick(cycle)
+                    elapsed = perf_counter() - t0
+                    profile = profiles[i]
+                    profile.ticks += 1
+                    profile.seconds += elapsed
+                    i = awake.index(True, i + 1)
+                for hook in hooks:
+                    hook(cycle)
+                if interval and cycle >= next_sample:
+                    profiler.sample_now(cycle)
+                    next_sample = cycle + interval
+        finally:
+            profiler.cycles += self.cycle - start
+            if interval:
+                profiler.sample_now(self.cycle)
 
     # ------------------------------------------------------------------
     # Diagnostics.

@@ -101,6 +101,29 @@ OP_FUNCS: Dict[Op, Callable] = {
 }
 
 
+def feed_profiler(machine, profiler) -> None:
+    """Fold the fast path's batched run statistics into a profiler.
+
+    The compiled path never updates stats per instruction — each thread
+    charges its precomputed static mix in one bulk add — so the numbers
+    here are already whole-run aggregates; they are published into the
+    :class:`~repro.obs.profiler.SimProfiler` registry as *absolute*
+    counter stores, which keeps repeated ``run()`` calls idempotent over
+    the machine's cumulative :class:`~repro.tam.stats.TamStats`.
+    """
+    stats = machine.stats
+    set_counter = profiler.set_counter
+    set_counter("tam.turns", machine.turns_executed)
+    set_counter("tam.threads_run", stats.threads_run)
+    set_counter("tam.instructions", stats.total_instructions)
+    set_counter("tam.messages", stats.messages.total_messages)
+    set_counter("tam.frames_allocated", stats.frames_allocated)
+    for name, count in stats.messages.as_dict().items():
+        set_counter(f"tam.msg.{name}", count)
+    for kind, count in stats.instructions.items():
+        set_counter(f"tam.instr.{kind.name.lower()}", count)
+
+
 class CompiledThread:
     """One thread, ready to run: handler closures plus its static mix."""
 

@@ -37,7 +37,8 @@ streams (``tests/tam/test_golden_equivalence.py``,
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import DeadlockError, TamError
 from repro.node.istructure import DeferredReader, IStructureMemory
@@ -76,6 +77,9 @@ from repro.sim.sweep import ActiveSweep, ReferenceSweep
 from repro.tam.stats import TamStats
 from repro.utils.profiling import PROFILER
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profiler import SimProfiler
+
 __all__ = ["IStructRef", "MsgKind", "TamMessage", "TamMachine"]
 
 
@@ -107,6 +111,14 @@ class TamMachine:
     construction time — before any ``load()`` compiles closures over
     them — so a machine built without a tracer executes byte-identical
     code on the hot path (zero overhead when off).
+
+    ``profiler`` opts the machine into per-node turn attribution
+    (:mod:`repro.obs.profiler`): every productive turn is timed and
+    charged to a ``tam.node<N>`` row, and the run's batched statistics
+    are folded into the profiler's counter registry
+    (:func:`repro.tam.fastpath.feed_profiler`).  With ``None`` the run
+    loops bind the original service callbacks, so an unprofiled run pays
+    nothing.
     """
 
     def __init__(
@@ -114,6 +126,7 @@ class TamMachine:
         n_nodes: int = 1,
         fast: bool = True,
         tracer: Optional[Tracer] = None,
+        profiler: Optional["SimProfiler"] = None,
     ) -> None:
         if n_nodes < 1:
             raise TamError("a TAM machine needs at least one node")
@@ -141,6 +154,9 @@ class TamMachine:
         self._trace_seq = 0
         if tracer is not None:
             self._install_tracing()
+        # Like the tracer, the profiler is identity-guarded: with None
+        # the run loops use the original service callbacks unchanged.
+        self.profiler = profiler
 
     def _install_tracing(self) -> None:
         """Swap the message entry points for traced wrappers.
@@ -274,6 +290,10 @@ class TamMachine:
         self.turns_executed += turns
         PROFILER.add("tam.turns", turns)
         PROFILER.add("tam.runs", 1)
+        if self.profiler is not None:
+            from repro.tam.fastpath import feed_profiler
+
+            feed_profiler(self, self.profiler)
         self._check_quiescence()
         return self.stats
 
@@ -289,13 +309,59 @@ class TamMachine:
         the next message decrements it — the priority lives in
         ``_do_one_unit``, which both policies' callbacks share.
         """
+        do_one = self._do_one_unit
+        if self.profiler is not None:
+            do_one = self._profiled_unit(do_one)
         return self._reference_sched.run(
             self.nodes,
             has_work=lambda state: state.stack or state.inbox,
-            do_one=self._do_one_unit,
+            do_one=do_one,
             max_turns=max_turns,
             stall=self._turn_stall(max_turns),
         )
+
+    def _node_profiles(self) -> List:
+        """One profiler attribution row per node (``tam.node<N>``)."""
+        track = self.profiler.track
+        return [track(f"tam.node{n}") for n in range(self.n_nodes)]
+
+    def _profiled_unit(self, do_one: Callable) -> Callable:
+        """Wrap the reference path's unit callback with turn attribution.
+
+        Every ``do_one`` call is exactly one productive turn, so the
+        wrapper charges unconditionally.
+        """
+        profiles = self._node_profiles()
+
+        def profiled(state: _NodeState) -> None:
+            start = perf_counter()
+            do_one(state)
+            elapsed = perf_counter() - start
+            profile = profiles[state.node_id]
+            profile.ticks += 1
+            profile.seconds += elapsed
+
+        return profiled
+
+    def _profiled_service(self, service: Callable) -> Callable:
+        """Wrap the fast path's service callback with turn attribution.
+
+        ``service`` returns ``None`` for a no-work scan (not a turn —
+        nothing is charged) and True/False after a productive turn.
+        """
+        profiles = self._node_profiles()
+
+        def profiled(state: _NodeState):
+            start = perf_counter()
+            more = service(state)
+            elapsed = perf_counter() - start
+            if more is not None:
+                profile = profiles[state.node_id]
+                profile.ticks += 1
+                profile.seconds += elapsed
+            return more
+
+        return profiled
 
     def _do_one_unit(self, state: _NodeState) -> None:
         """One productive turn on ``state`` via the reference dispatch."""
@@ -345,6 +411,8 @@ class TamMachine:
                 return None
             return True if (state.stack or state.inbox) else False
 
+        if self.profiler is not None:
+            service = self._profiled_service(service)
         return self._sched.run(
             nodes,
             service,

@@ -1,0 +1,230 @@
+"""The perf database and the cross-run trend report.
+
+The database is an append-only JSONL log; the report's statistics are
+small enough to pin exactly: median baselines, MAD noise bands, the
+same-host partition, and the regression gate's arming rule.
+"""
+
+import json
+
+import pytest
+
+from repro.exp.runner import ExperimentOutcome, record_outcomes
+from repro.obs import perfdb
+from repro.obs.report import (
+    analyze_bench,
+    analyze_db,
+    main as report_main,
+    median,
+    noise_band,
+    render_html,
+    render_markdown,
+)
+
+
+def record(bench="demo", seconds=1.0, host="h1", **extra):
+    return perfdb.make_record(
+        bench,
+        {"run_seconds": seconds, "cycles": 2400},
+        sha="abc1234",
+        host=host,
+        timestamp=1000.0,
+        **extra,
+    )
+
+
+class TestPerfdb:
+    def test_record_shape(self):
+        rec = record()
+        assert rec["schema_version"] == perfdb.SCHEMA_VERSION
+        assert rec["bench"] == "demo"
+        assert rec["host"] == "h1"
+        assert rec["metrics"] == {"run_seconds": 1.0, "cycles": 2400}
+        json.dumps(rec)  # must be plain JSON types
+
+    def test_append_is_append_only(self, tmp_path):
+        path1 = perfdb.append_record(tmp_path, record(seconds=1.0))
+        path2 = perfdb.append_record(tmp_path, record(seconds=2.0))
+        assert path1 == path2
+        loaded = perfdb.load_bench(tmp_path, "demo")
+        assert [r["metrics"]["run_seconds"] for r in loaded] == [1.0, 2.0]
+
+    def test_load_skips_garbage_and_foreign_schemas(self, tmp_path):
+        path = perfdb.append_record(tmp_path, record())
+        with path.open("a") as fh:
+            fh.write("not json\n")
+            fh.write(json.dumps({"schema_version": 999, "metrics": {}}) + "\n")
+            fh.write("\n")
+        assert len(perfdb.load_bench(tmp_path, "demo")) == 1
+
+    def test_load_all_and_bench_name_sanitisation(self, tmp_path):
+        perfdb.append_record(tmp_path, record(bench="a/b"))
+        perfdb.append_record(tmp_path, record(bench="plain"))
+        assert perfdb.bench_path(tmp_path, "a/b").name == "a_b.jsonl"
+        assert set(perfdb.load_all(tmp_path)) == {"a/b", "plain"}
+
+    def test_missing_db_is_empty(self, tmp_path):
+        assert perfdb.load_bench(tmp_path / "nope", "x") == []
+        assert perfdb.load_all(tmp_path / "nope") == {}
+
+    def test_host_fingerprint_is_stable(self):
+        assert perfdb.host_fingerprint() == perfdb.host_fingerprint()
+        assert len(perfdb.host_fingerprint()) == 12
+
+    def test_git_sha_inside_this_repo(self):
+        assert perfdb.git_sha() != "unknown"
+
+    def test_empty_bench_name_rejected(self):
+        with pytest.raises(ValueError):
+            perfdb.make_record("", {})
+
+
+class TestStatistics:
+    def test_median(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_noise_band(self):
+        assert noise_band([1.0], 1.0) == 0.0
+        band = noise_band([1.0, 1.1, 0.9, 1.0], 1.0)
+        assert band == pytest.approx(1.4826 * 0.05)
+
+
+class TestAnalysis:
+    def seed(self, seconds_list, host="h1"):
+        return [record(seconds=s, host=host) for s in seconds_list]
+
+    def test_gate_needs_two_prior_runs(self):
+        report = analyze_bench("demo", self.seed([1.0, 5.0]), host="h1")
+        entry = next(
+            e for e in report["metrics"] if e["name"] == "run_seconds"
+        )
+        assert entry["status"] == "needs-history"
+        assert not report["regressed"]
+
+    def test_regression_must_clear_noise_and_threshold(self):
+        # Baseline 1.0, no noise: the limit is exactly 1.10.
+        ok = analyze_bench("demo", self.seed([1.0, 1.0, 1.0, 1.09]), host="h1")
+        bad = analyze_bench("demo", self.seed([1.0, 1.0, 1.0, 1.11]), host="h1")
+        assert not ok["regressed"]
+        assert bad["regressed"]
+        assert bad["status"] == "REGRESSED"
+
+    def test_noisy_history_widens_the_limit(self):
+        # Same +15% excursion: regression on a quiet bench, noise on a
+        # jittery one.
+        quiet = analyze_bench(
+            "demo", self.seed([1.0, 1.0, 1.0, 1.0, 1.15]), host="h1"
+        )
+        noisy = analyze_bench(
+            "demo", self.seed([1.0, 1.2, 0.85, 1.1, 1.15]), host="h1"
+        )
+        assert quiet["regressed"]
+        assert not noisy["regressed"]
+
+    def test_single_outlier_cannot_shift_the_baseline(self):
+        report = analyze_bench(
+            "demo", self.seed([1.0, 1.0, 9.0, 1.0, 1.0, 1.05]), host="h1"
+        )
+        entry = next(
+            e for e in report["metrics"] if e["name"] == "run_seconds"
+        )
+        assert entry["baseline"] == 1.0
+        assert not report["regressed"]
+
+    def test_other_hosts_never_enter_the_comparison(self):
+        records = self.seed([1.0, 1.0, 1.0], host="h1")
+        records += self.seed([0.1], host="h2")  # a faster machine, last
+        report = analyze_bench("demo", records, host="h1")
+        assert report["runs"] == 3
+        assert report["runs_all_hosts"] == 4
+        assert not report["regressed"]
+        assert analyze_bench("demo", records, host="h3")["status"] == (
+            "no-runs-on-this-host"
+        )
+
+    def test_counts_are_context_not_gated(self):
+        records = self.seed([1.0, 1.0, 1.0, 1.0])
+        records[-1]["metrics"]["cycles"] = 99999  # huge, but not *_seconds
+        report = analyze_bench("demo", records, host="h1")
+        entry = next(e for e in report["metrics"] if e["name"] == "cycles")
+        assert entry["status"] == "info"
+        assert not report["regressed"]
+
+    def test_profile_meta_reaches_the_report(self):
+        records = self.seed([1.0, 1.0])
+        profile = {"cycles": 7, "components": {"fabric": {"ticks": 7}}}
+        records[-1]["meta"]["profile"] = profile
+        report = analyze_bench("demo", records, host="h1")
+        assert report["profile"] == profile
+        markdown = render_markdown([report], 0.10)
+        assert "fabric" in markdown
+        assert "tick share" in markdown
+
+
+class TestRenderAndCli:
+    def seed_db(self, tmp_path, seconds_list):
+        for s in seconds_list:
+            perfdb.append_record(
+                tmp_path, perfdb.make_record("demo", {"run_seconds": s})
+            )
+
+    def test_markdown_and_html_render(self, tmp_path):
+        self.seed_db(tmp_path, [1.0, 1.0, 1.0, 5.0])
+        reports = analyze_db(tmp_path)
+        markdown = render_markdown(reports, 0.10)
+        assert "REGRESSED" in markdown and "`run_seconds`" in markdown
+        html = render_html(reports, 0.10)
+        assert "<table>" in html and "REGRESSED" in html
+
+    def test_check_exit_codes(self, tmp_path, capsys):
+        self.seed_db(tmp_path, [1.0, 1.0, 1.0, 1.0])
+        assert report_main(["--db", str(tmp_path), "--check"]) == 0
+        self.seed_db(tmp_path, [5.0])
+        assert report_main(["--db", str(tmp_path), "--check"]) == 1
+        # A looser threshold lets the same excursion through.
+        assert (
+            report_main(
+                ["--db", str(tmp_path), "--check", "--threshold", "9.0"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+    def test_html_artifact_written(self, tmp_path, capsys):
+        self.seed_db(tmp_path, [1.0])
+        out = tmp_path / "out" / "report.html"
+        assert (
+            report_main(["--db", str(tmp_path), "--html", str(out)]) == 0
+        )
+        assert out.read_text().startswith("<!doctype html>")
+        capsys.readouterr()
+
+    def test_empty_db_reports_cleanly(self, tmp_path, capsys):
+        assert report_main(["--db", str(tmp_path), "--check"]) == 0
+        assert "empty perf database" in capsys.readouterr().out
+
+
+class TestRunnerIntegration:
+    def test_record_outcomes_appends_section_records(self, tmp_path):
+        outcomes = [
+            ExperimentOutcome(
+                name="flowcontrol",
+                title="Hot-spot",
+                text="",
+                artifact={
+                    "data": {"profile": {"cycles": 1, "components": {}}}
+                },
+                wall_clock_seconds=0.5,
+            )
+        ]
+        paths = record_outcomes(tmp_path, outcomes)
+        assert [p.name for p in paths] == ["section.flowcontrol.jsonl"]
+        loaded = perfdb.load_bench(tmp_path, "section.flowcontrol")
+        assert loaded[0]["metrics"] == {"wall_clock_seconds": 0.5}
+        assert loaded[0]["meta"]["profile"] == {
+            "cycles": 1,
+            "components": {},
+        }
