@@ -1,11 +1,12 @@
-"""Interpreter throughput: the fast path against the reference path.
+"""Interpreter throughput: all three TAM backends against each other.
 
 The other benchmarks time what the paper measures (pricing, figures);
 this one times the measurement *instrument* itself — the TAM interpreter
 that executes every evaluation program.  It runs the three programs on
-both interpreter paths, reports wall-clock and turns/sec (a turn is one
-thread run or one message processed), and writes ``BENCH_runtime.json``
-at the repository root so regressions are visible in review diffs.
+the reference, fastpath, and codegen backends, reports wall-clock and
+turns/sec (a turn is one thread run or one message processed), and
+writes ``BENCH_runtime.json`` at the repository root so regressions are
+visible in review diffs.
 
 Every run appends one record to the perf database
 (``results/perfdb/``, :mod:`repro.obs.perfdb`) so
@@ -16,9 +17,13 @@ the perfdb now).
 
 Run standalone::
 
-    python benchmarks/bench_runtime_speed.py [--smoke] [--perfdb DIR]
+    python benchmarks/bench_runtime_speed.py [--smoke | --paper] [--perfdb DIR]
 
-or through pytest-benchmark (fast path only, statistical timing)::
+``--smoke`` is the CI pass (reduced sizes, one repeat); ``--paper``
+times the paper's program scales (matmul 100x100, Gamteb 16 photons)
+under a separate bench name so neither pollutes the default trend.
+
+or through pytest-benchmark (statistical timing)::
 
     pytest benchmarks/bench_runtime_speed.py --benchmark-only
 """
@@ -32,6 +37,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro.exp.runner import effective_jobs
 from repro.obs import perfdb
 from repro.obs.profiler import SimProfiler, render_profile
 from repro.programs.gamteb import run_gamteb
@@ -47,86 +53,124 @@ SMOKE_MATMUL_N = 16
 SMOKE_GAMTEB_PHOTONS = 16
 SMOKE_QUEENS_N = 5
 
+#: The paper's program scales (Section 4.2): 100x100 matmul, 16-photon
+#: Gamteb.  Queens is the repo's contrast workload and keeps its size.
+PAPER_MATMUL_N = 100
+PAPER_GAMTEB_PHOTONS = 16
+PAPER_QUEENS_N = 6
 
-def workloads(smoke: bool) -> dict:
-    matmul_n = SMOKE_MATMUL_N if smoke else MATMUL_N
-    photons = SMOKE_GAMTEB_PHOTONS if smoke else GAMTEB_PHOTONS
-    queens_n = SMOKE_QUEENS_N if smoke else QUEENS_N
+#: The backends measured, slowest first.
+BACKENDS = ("reference", "fastpath", "codegen")
+
+
+def workloads(smoke: bool = False, paper: bool = False) -> dict:
+    if paper:
+        matmul_n, photons, queens_n = (
+            PAPER_MATMUL_N,
+            PAPER_GAMTEB_PHOTONS,
+            PAPER_QUEENS_N,
+        )
+    elif smoke:
+        matmul_n, photons, queens_n = (
+            SMOKE_MATMUL_N,
+            SMOKE_GAMTEB_PHOTONS,
+            SMOKE_QUEENS_N,
+        )
+    else:
+        matmul_n, photons, queens_n = MATMUL_N, GAMTEB_PHOTONS, QUEENS_N
     return {
-        "matmul": lambda fast: run_matmul(n=matmul_n, nodes=NODES, fast=fast),
-        "gamteb": lambda fast: run_gamteb(
-            n_photons=photons, nodes=NODES, fast=fast
+        "matmul": lambda backend: run_matmul(
+            n=matmul_n, nodes=NODES, backend=backend
         ),
-        "queens": lambda fast: run_queens(n=queens_n, nodes=NODES, fast=fast),
+        "gamteb": lambda backend: run_gamteb(
+            n_photons=photons, nodes=NODES, backend=backend
+        ),
+        "queens": lambda backend: run_queens(
+            n=queens_n, nodes=NODES, backend=backend
+        ),
     }
 
 
-WORKLOADS = workloads(smoke=False)
+WORKLOADS = workloads()
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULT_PATH = REPO_ROOT / "BENCH_runtime.json"
 BENCH_NAME = "runtime"
 
 
-def _time_run(runner, fast: bool, repeats: int):
+def _time_run(runner, backend: str, repeats: int):
     """Best-of-``repeats`` wall clock plus the turn count of one run."""
     best = float("inf")
     turns = 0
     for _ in range(repeats):
         start = time.perf_counter()
-        result = runner(fast)
+        result = runner(backend)
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
         turns = result.machine.turns_executed
     return best, turns
 
 
-def measure(repeats: int = 3, smoke: bool = False) -> dict:
-    """Measure every workload on both paths; returns the report dict."""
+def measure(repeats: int = 3, smoke: bool = False, paper: bool = False) -> dict:
+    """Measure every workload on all three backends; returns the report."""
     report = {
         "schema_version": perfdb.SCHEMA_VERSION,
         "nodes": NODES,
         "repeats": repeats,
         "smoke": smoke,
+        "paper": paper,
         "workloads": {},
     }
-    for name, runner in workloads(smoke).items():
-        fast_s, fast_turns = _time_run(runner, True, repeats)
-        ref_s, ref_turns = _time_run(runner, False, max(1, repeats - 2))
-        assert fast_turns == ref_turns, (
-            f"{name}: fast path ran {fast_turns} turns, reference "
-            f"{ref_turns} — the paths diverged"
+    for name, runner in workloads(smoke=smoke, paper=paper).items():
+        codegen_s, codegen_turns = _time_run(runner, "codegen", repeats)
+        fast_s, fast_turns = _time_run(runner, "fastpath", repeats)
+        # The reference path dominates wall clock; one repeat suffices
+        # for the denominator once the numerators are best-of.
+        ref_s, ref_turns = _time_run(runner, "reference", max(1, repeats - 2))
+        assert fast_turns == ref_turns == codegen_turns, (
+            f"{name}: backends diverged — reference {ref_turns} turns, "
+            f"fastpath {fast_turns}, codegen {codegen_turns}"
         )
         report["workloads"][name] = {
             "turns": fast_turns,
+            "codegen_seconds": round(codegen_s, 4),
             "fast_seconds": round(fast_s, 4),
             "reference_seconds": round(ref_s, 4),
+            "codegen_turns_per_sec": round(codegen_turns / codegen_s),
             "fast_turns_per_sec": round(fast_turns / fast_s),
             "reference_turns_per_sec": round(ref_turns / ref_s),
             "speedup": round(ref_s / fast_s, 2),
+            "codegen_speedup": round(ref_s / codegen_s, 2),
         }
-    # One profiled matmul run: per-node turn attribution plus the
-    # instruction/message mix, carried into the perfdb record's meta so
-    # the report prints where the interpreter's cycles went.
+    # One profiled matmul run on the codegen backend: per-node turn
+    # attribution plus the instruction/message mix, carried into the
+    # perfdb record's meta so the report prints where the interpreter's
+    # cycles went.  Profiling the *fastest* backend doubles as the check
+    # that observation still attributes on the generated path.
     profiler = SimProfiler()
+    sizes = {"paper": PAPER_MATMUL_N, "smoke": SMOKE_MATMUL_N}
     run_matmul(
-        n=SMOKE_MATMUL_N if smoke else MATMUL_N,
+        n=sizes["paper"] if paper else (sizes["smoke"] if smoke else MATMUL_N),
         nodes=NODES,
         verify=False,
         profiler=profiler,
+        backend="codegen",
     )
     report["profile"] = profiler.to_dict()
     return report
 
 
-def perf_record(report: dict, smoke: bool) -> dict:
+def perf_record(report: dict, bench: str) -> dict:
     """Flatten one ``measure()`` report into a perfdb record.
 
-    Smoke runs get a separate bench name so single-repeat reduced-size
-    timings never pollute the full-run trend history.
+    Smoke and paper runs get separate bench names so reduced-size or
+    paper-scale timings never pollute the default trend history.  The
+    ``*_codegen_seconds`` metrics arm the CI regression gate on the
+    generated-code backend the moment the first record lands.
     """
     metrics = {}
     for name, row in report["workloads"].items():
+        metrics[f"{name}_codegen_seconds"] = row["codegen_seconds"]
         metrics[f"{name}_fast_seconds"] = row["fast_seconds"]
         metrics[f"{name}_reference_seconds"] = row["reference_seconds"]
         metrics[f"{name}_turns"] = row["turns"]
@@ -135,12 +179,13 @@ def perf_record(report: dict, smoke: bool) -> dict:
         metrics["sections_serial_seconds"] = sections["serial_seconds"]
         metrics["sections_jobs_seconds"] = sections["jobs_seconds"]
     return perfdb.make_record(
-        bench=f"{BENCH_NAME}-smoke" if smoke else BENCH_NAME,
+        bench=bench,
         metrics=metrics,
         meta={
             "nodes": report["nodes"],
             "repeats": report["repeats"],
-            "smoke": smoke,
+            "smoke": report["smoke"],
+            "paper": report["paper"],
             "profile": report["profile"],
         },
     )
@@ -175,14 +220,18 @@ def _time_sections(*extra_args: str) -> float:
 def measure_sections() -> dict:
     """Serial versus ``--jobs`` wall clock for the full section grid.
 
-    On a single-core box (CI containers included) the parallel fan-out
-    cannot win — the record carries ``cpu_count`` so the ratio is
-    interpretable wherever it was produced.
+    The runner caps workers at ``os.cpu_count()``, so the comparison
+    times the fan-out actually run, not the one requested — on a
+    single-core box (CI containers included) both columns are serial
+    and the ratio reads 1.0 instead of reporting pool overhead as a
+    parallel "result".
     """
+    jobs = effective_jobs(SECTIONS_JOBS)
     serial = _time_sections()
-    parallel = _time_sections("--jobs", str(SECTIONS_JOBS))
+    parallel = _time_sections("--jobs", str(jobs))
     return {
-        "jobs": SECTIONS_JOBS,
+        "jobs_requested": SECTIONS_JOBS,
+        "jobs": jobs,
         "cpu_count": os.cpu_count(),
         "serial_seconds": round(serial, 4),
         "jobs_seconds": round(parallel, 4),
@@ -192,12 +241,22 @@ def measure_sections() -> dict:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument(
         "--smoke",
         action="store_true",
         help=(
             "single repeat at reduced sizes, skip the sections wall-clock "
             "comparison, record under a separate '-smoke' bench name"
+        ),
+    )
+    scale.add_argument(
+        "--paper",
+        action="store_true",
+        help=(
+            "the paper's program scales (matmul 100x100, Gamteb 16 "
+            "photons), skip the sections wall-clock comparison, record "
+            "under a separate '-paper' bench name"
         ),
     )
     parser.add_argument(
@@ -208,26 +267,39 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    report = measure(repeats=1 if args.smoke else 3, smoke=args.smoke)
-    if not args.smoke:
+    report = measure(
+        repeats=1 if args.smoke else 3, smoke=args.smoke, paper=args.paper
+    )
+    if not (args.smoke or args.paper):
         report["sections_wall_clock"] = measure_sections()
     RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {RESULT_PATH} (latest run only)")
-    db_path = perfdb.append_record(args.perfdb, perf_record(report, args.smoke))
+    if args.smoke:
+        bench = f"{BENCH_NAME}-smoke"
+    elif args.paper:
+        bench = f"{BENCH_NAME}-paper"
+    else:
+        bench = BENCH_NAME
+    db_path = perfdb.append_record(args.perfdb, perf_record(report, bench))
     print(f"appended perfdb record to {db_path}")
-    header = f"{'program':<10} {'turns':>8} {'fast':>9} {'reference':>10} {'speedup':>8} {'turns/s':>10}"
+    header = (
+        f"{'program':<10} {'turns':>8} {'codegen':>9} {'fast':>9} "
+        f"{'reference':>10} {'cg-speedup':>10} {'cg turns/s':>11}"
+    )
     print(header)
     for name, row in report["workloads"].items():
         print(
-            f"{name:<10} {row['turns']:>8,} {row['fast_seconds']:>8.3f}s "
-            f"{row['reference_seconds']:>9.3f}s {row['speedup']:>7.2f}x "
-            f"{row['fast_turns_per_sec']:>10,}"
+            f"{name:<10} {row['turns']:>8,} {row['codegen_seconds']:>8.3f}s "
+            f"{row['fast_seconds']:>8.3f}s {row['reference_seconds']:>9.3f}s "
+            f"{row['codegen_speedup']:>9.2f}x "
+            f"{row['codegen_turns_per_sec']:>11,}"
         )
     sections = report.get("sections_wall_clock")
     if sections:
         print(
             f"sections   serial {sections['serial_seconds']:.3f}s  "
-            f"--jobs {sections['jobs']} {sections['jobs_seconds']:.3f}s  "
+            f"--jobs {sections['jobs']} (of {sections['jobs_requested']} "
+            f"requested) {sections['jobs_seconds']:.3f}s  "
             f"{sections['speedup']:.2f}x  ({sections['cpu_count']} cpus)"
         )
     print()
@@ -236,8 +308,8 @@ def main(argv=None) -> int:
 
 
 # ---------------------------------------------------------------------------
-# pytest-benchmark entry points (fast path only; the reference path is
-# covered by the standalone runner above).
+# pytest-benchmark entry points (fastpath and codegen; the reference
+# path is covered by the standalone runner above).
 # ---------------------------------------------------------------------------
 
 
@@ -253,6 +325,16 @@ def test_gamteb_fast_path(benchmark):
 
 def test_queens_fast_path(benchmark):
     result = benchmark(run_queens, QUEENS_N, NODES)
+    assert result.machine.turns_executed > 0
+
+
+def test_matmul_codegen(benchmark):
+    result = benchmark(lambda: run_matmul(MATMUL_N, NODES, backend="codegen"))
+    assert result.machine.turns_executed > 0
+
+
+def test_queens_codegen(benchmark):
+    result = benchmark(lambda: run_queens(QUEENS_N, NODES, backend="codegen"))
     assert result.machine.turns_executed > 0
 
 

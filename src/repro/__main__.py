@@ -96,7 +96,10 @@ def main(argv=None) -> int:
         "--jobs",
         type=int,
         default=1,
-        help="worker processes for the section fan-out (default: 1, serial)",
+        help=(
+            "worker processes for the section fan-out (default: 1, serial; "
+            "capped at os.cpu_count())"
+        ),
     )
     parser.add_argument(
         "--json-dir",

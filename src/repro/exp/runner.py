@@ -19,6 +19,7 @@ dependency-aware, not phased:
 
 from __future__ import annotations
 
+import os
 import shutil
 import tempfile
 import time
@@ -100,13 +101,25 @@ def _worker_experiment(name: str, params: Dict[str, Any]) -> ExperimentOutcome:
 # ---------------------------------------------------------------------------
 
 
+def effective_jobs(jobs: int) -> int:
+    """The worker count actually used for a ``--jobs`` request."""
+    return max(1, min(jobs, os.cpu_count() or 1))
+
+
 def iter_experiments(
     specs: Sequence[ExperimentSpec],
     options: EvalOptions,
     jobs: int = 1,
     cache_dir: Optional[Path] = None,
 ) -> Iterator[ExperimentOutcome]:
-    """Yield outcomes for ``specs`` in order; parallel when ``jobs > 1``."""
+    """Yield outcomes for ``specs`` in order; parallel when ``jobs > 1``.
+
+    ``jobs`` is capped at ``os.cpu_count()``: the sections are CPU-bound,
+    so workers beyond the core count only add process-pool overhead (a
+    4-worker fan-out on a 1-CPU host measured *slower* than serial).
+    Callers can read the cap applied via :func:`effective_jobs`.
+    """
+    jobs = effective_jobs(jobs)
     params_by_name = {spec.name: spec.params(options) for spec in specs}
     if jobs <= 1:
         cache = get_cache()

@@ -475,9 +475,14 @@ def run_gamteb(
     seed: int = 19920501,
     verify: bool = True,
     fast: bool = True,
+    backend=None,
 ) -> GamtebResult:
-    """Run the Gamteb reproduction with ``n_photons`` source particles."""
-    machine = TamMachine(nodes, fast=fast)
+    """Run the Gamteb reproduction with ``n_photons`` source particles.
+
+    ``backend`` names the execution backend ("reference", "fastpath",
+    "codegen"); with ``None`` the legacy ``fast`` flag decides.
+    """
+    machine = TamMachine(nodes, fast=fast, backend=backend)
     driver = build_driver_codeblock(n_photons, seed)
     machine.load(build_photon_codeblock(done_inlet=PHOTON_DONE_INLET))
     machine.load(driver)

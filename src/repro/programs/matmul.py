@@ -467,10 +467,12 @@ class MatmulResult:
 
 def run_matmul(
     n: int = 16, nodes: int = 16, verify: bool = True, fast: bool = True,
-    tracer=None, profiler=None,
+    tracer=None, profiler=None, backend=None,
 ) -> MatmulResult:
     """Run an n×n blocked matrix multiply on a TAM machine of ``nodes``.
 
+    ``backend`` names the execution backend ("reference", "fastpath",
+    "codegen"); with ``None`` the legacy ``fast`` flag decides —
     ``fast=False`` selects the reference interpreter (identical results,
     used by the golden equivalence tests).  ``tracer`` opts the machine
     into message-path event tracing (:mod:`repro.obs.tracer`);
@@ -481,7 +483,9 @@ def run_matmul(
     if n % BLOCK:
         raise TamError(f"matrix size {n} must be a multiple of {BLOCK}")
     nb = n // BLOCK
-    machine = TamMachine(nodes, fast=fast, tracer=tracer, profiler=profiler)
+    machine = TamMachine(
+        nodes, fast=fast, tracer=tracer, profiler=profiler, backend=backend
+    )
     driver = build_driver_codeblock(nb)
     done_inlet = 5  # in_done in the driver's inlet numbering
     machine.load(build_block_codeblock(nb, done_inlet=done_inlet))

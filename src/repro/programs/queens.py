@@ -364,15 +364,18 @@ def run_queens(
     verify: bool = True,
     fast: bool = True,
     tracer=None,
+    backend=None,
 ) -> QueensResult:
     """Count the N-Queens solutions with one activation per tree node.
 
+    ``backend`` names the execution backend ("reference", "fastpath",
+    "codegen"); with ``None`` the legacy ``fast`` flag decides.
     ``tracer`` opts the machine into message-path event tracing
     (:mod:`repro.obs.tracer`).
     """
     if n < 1 or n > MAX_N:
         raise TamError(f"board size {n} outside 1..{MAX_N}")
-    machine = TamMachine(nodes, fast=fast, tracer=tracer)
+    machine = TamMachine(nodes, fast=fast, tracer=tracer, backend=backend)
     machine.load(build_worker(n))
     machine.load(build_driver())
     ref = machine.boot("queens_driver")

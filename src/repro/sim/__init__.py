@@ -14,8 +14,9 @@ single engine they all run on now:
 * :class:`~repro.sim.component.SimComponent` — the component contract a
   clocked object implements to be driven by the kernel.
 * :mod:`repro.sim.sweep` — the turn-based service policies
-  (:class:`~repro.sim.sweep.ReferenceSweep` and
-  :class:`~repro.sim.sweep.ActiveSweep`) the TAM runtime schedules on,
+  (:class:`~repro.sim.sweep.ReferenceSweep`,
+  :class:`~repro.sim.sweep.ActiveSweep`, and the heap-based
+  :class:`~repro.sim.sweep.EventSweep`) the TAM runtime schedules on,
   pinned turn-for-turn equivalent to each other.
 
 Drivers rebased on this package: ``api.cluster.Cluster.run``, the
@@ -26,10 +27,11 @@ schedulers in ``tam.runtime``.
 
 from repro.sim.component import SimComponent
 from repro.sim.kernel import SimHandle, SimKernel, SimResult
-from repro.sim.sweep import ActiveSweep, ReferenceSweep
+from repro.sim.sweep import ActiveSweep, EventSweep, ReferenceSweep
 
 __all__ = [
     "ActiveSweep",
+    "EventSweep",
     "ReferenceSweep",
     "SimComponent",
     "SimHandle",

@@ -15,6 +15,15 @@ makes runs reproducible bit for bit:
   (``wake_at``).  The awake scan uses the flag-array trick from the TAM
   fast path: a plain bool list with a ``True`` sentinel at the end, so
   skipping sleepers is a C-level ``list.index`` scan, not a Python loop.
+  Timed wakes live in a min-heap of ``(cycle, index)`` events (lazily
+  invalidated against the authoritative index->cycle dict), so promoting
+  due wakes costs ``O(due log pending)`` instead of a scan of every
+  pending wake per cycle — and when *nothing* is awake and no hook or
+  custom predicate observes individual cycles, the kernel fast-forwards
+  straight to the next timed wake instead of spinning through idle
+  cycles.  Cycle counts, stop conditions, and stall diagnostics are
+  unchanged by the skip; ``SimKernel(fast_forward=False)`` restores the
+  literal cycle-by-cycle loop.
 * **Stop conditions** — a run ends when every component reports
   :meth:`~repro.sim.component.SimComponent.quiescent` (the default), or
   when a caller-supplied predicate fires; if neither happens within
@@ -41,8 +50,9 @@ exactly the number of service rounds executed.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from time import perf_counter
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SimStallError, SimulationError
 
@@ -92,8 +102,10 @@ class SimHandle:
 
     def wake_at(self, cycle: int) -> None:
         """Sleep until the kernel reaches ``cycle`` (inclusive)."""
-        self._kernel._awake[self.index] = False
-        self._kernel._timed[self.index] = cycle
+        kernel = self._kernel
+        kernel._awake[self.index] = False
+        kernel._timed[self.index] = cycle
+        heappush(kernel._timed_heap, (cycle, self.index))
 
     def sleep(self) -> None:
         """Leave the per-cycle scan until explicitly woken."""
@@ -104,7 +116,7 @@ class SimHandle:
 class SimKernel:
     """Deterministic cycle/quiescence engine for registered components."""
 
-    def __init__(self) -> None:
+    def __init__(self, fast_forward: bool = True) -> None:
         self.cycle = 0
         self._components: List[object] = []
         self._handles: List[SimHandle] = []
@@ -112,7 +124,13 @@ class SimKernel:
         # terminates the list.index scan (see tam/fastpath's scheduler,
         # which this generalizes).
         self._awake: List[bool] = [True]
+        # Timed wakes live twice: ``_timed`` maps index -> wake cycle and
+        # is authoritative (wake/sleep rewrite it freely); ``_timed_heap``
+        # holds (cycle, index) events and may contain stale entries,
+        # invalidated lazily against the dict when popped.
         self._timed: Dict[int, int] = {}
+        self._timed_heap: List[Tuple[int, int]] = []
+        self._fast_forward = fast_forward
         self._hooks: List[Callable[[int], None]] = []
         self._profiler: Optional["SimProfiler"] = None
         self._running = False
@@ -198,6 +216,13 @@ class SimKernel:
         try:
             if self._profiler is not None:
                 return self._run_profiled(max_cycles, until, stall_error, label)
+            theap = self._timed_heap
+            # Idle cycles can only be fast-forwarded when nothing outside
+            # the kernel observes individual cycles: no custom stop
+            # predicate and no cycle hooks.  The jump lands exactly where
+            # the per-cycle loop would have woken someone (or at the
+            # cycle bound, so stall diagnostics are unchanged).
+            skip_idle = self._fast_forward and until is None and not hooks
             while True:
                 if until is not None:
                     if until():
@@ -207,12 +232,23 @@ class SimKernel:
                 if self.cycle - start >= max_cycles:
                     raise stall_error(self._stall_report(label, max_cycles))
                 self.cycle = cycle = self.cycle + 1
-                if timed:
-                    due = [i for i, at in timed.items() if at <= cycle]
-                    for i in due:
+                while theap and theap[0][0] <= cycle:
+                    at, i = heappop(theap)
+                    if timed.get(i) == at:
                         del timed[i]
                         awake[i] = True
                 i = awake.index(True)
+                if i == n and skip_idle:
+                    # Nothing ticks this cycle; drop stale heap entries,
+                    # then jump to just before the next timed wake (or to
+                    # the bound when no wake is pending).
+                    while theap and timed.get(theap[0][1]) != theap[0][0]:
+                        heappop(theap)
+                    if theap:
+                        self.cycle = min(theap[0][0] - 1, start + max_cycles)
+                    else:
+                        self.cycle = start + max_cycles
+                    continue
                 while i != n:
                     components[i].tick(cycle)
                     i = awake.index(True, i + 1)
@@ -239,6 +275,7 @@ class SimKernel:
         components = self._components
         awake = self._awake
         timed = self._timed
+        theap = self._timed_heap
         hooks = self._hooks
         n = len(components)
         start = self.cycle
@@ -256,9 +293,9 @@ class SimKernel:
                 if self.cycle - start >= max_cycles:
                     raise stall_error(self._stall_report(label, max_cycles))
                 self.cycle = cycle = self.cycle + 1
-                if timed:
-                    due = [i for i, at in timed.items() if at <= cycle]
-                    for i in due:
+                while theap and theap[0][0] <= cycle:
+                    at, i = heappop(theap)
+                    if timed.get(i) == at:
                         del timed[i]
                         awake[i] = True
                         profiles[i].timed_wakes += 1

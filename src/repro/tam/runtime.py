@@ -15,35 +15,46 @@ outcome ratios under "LIFO scheduling of dataflow tokens"); nodes are
 serviced round-robin, one message or one thread per turn, so runs are
 reproducible bit for bit.
 
-Two execution paths implement those semantics:
+Three execution backends implement those semantics:
 
-* the **fast path** (default): threads and inlets are compiled to bound
-  handler closures at ``load()`` time (:mod:`repro.tam.fastpath`) and
-  nodes are driven by :class:`repro.sim.sweep.ActiveSweep` — the
+* the **fastpath** backend (default): threads and inlets are compiled to
+  bound handler closures at ``load()`` time (:mod:`repro.tam.fastpath`)
+  and nodes are driven by :class:`repro.sim.sweep.ActiveSweep` — the
   flag-array scheduler that skips idle nodes for free;
-* the **reference path** (``TamMachine(n, fast=False)``): the original
-  per-instruction ``isinstance`` interpreter driven by
+* the **codegen** backend (``TamMachine(n, backend="codegen")``): each
+  whole thread is compiled to one generated Python function over
+  flat-list frames (:mod:`repro.tam.codegen`) and nodes are driven by
+  :class:`repro.sim.sweep.EventSweep`, the heap scheduler;
+* the **reference** backend (``TamMachine(n, fast=False)``): the
+  original per-instruction ``isinstance`` interpreter driven by
   :class:`repro.sim.sweep.ReferenceSweep` (scan every node each sweep),
   kept as the executable specification.
 
-The two sweep policies are contract-equivalent (same service order,
-same exact ``max_turns`` bound — ``tests/sim/test_sweep.py``) and both
-paths produce field-for-field identical
+The sweep policies are contract-equivalent (same service order, same
+exact ``max_turns`` bound — ``tests/sim/test_sweep.py``) and all
+backends produce field-for-field identical
 :class:`~repro.tam.stats.TamStats` and turn-for-turn identical trace
 streams (``tests/tam/test_golden_equivalence.py``,
-``tests/sim/test_determinism.py``).
+``tests/tam/test_backend_matrix.py``, ``tests/sim/test_determinism.py``).
 """
 
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.errors import DeadlockError, TamError
+from repro.errors import DeadlockError, IStructureError, TamError
 from repro.node.istructure import DeferredReader, IStructureMemory
 from repro.node.memory import Memory
 from repro.tam.codeblock import Codeblock
+from repro.tam.codegen import (
+    FlatFrameView,
+    compile_codegen,
+    flat_read,
+    flat_write,
+)
 from repro.tam.fastpath import OP_FUNCS, compile_codeblock
 from repro.tam.frame import Frame, FrameRef
 from repro.tam.instructions import (
@@ -73,7 +84,7 @@ from repro.tam.messages import (
     TamMessage,
 )
 from repro.obs.tracer import TAM_HANDLE, TAM_POST, Tracer
-from repro.sim.sweep import ActiveSweep, ReferenceSweep
+from repro.sim.sweep import ActiveSweep, EventSweep, ReferenceSweep
 from repro.tam.stats import TamStats
 from repro.utils.profiling import PROFILER
 
@@ -82,6 +93,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["IStructRef", "MsgKind", "TamMessage", "TamMachine"]
 
+# Message-kind sentinel for machine-built replies on the fused codegen
+# path: the tuple carries the bound inlet function and the flat frame
+# itself ([2] and [3]), so delivery is one call with no frame or inlet
+# lookup.  Only _run_codegen_fused creates and consumes these.
+_FAST_REPLY = object()
+
 
 class _NodeState:
     """Per-node runtime state."""
@@ -89,7 +106,11 @@ class _NodeState:
     def __init__(self, node_id: int) -> None:
         self.node_id = node_id
         self.inbox: Deque[TamMessage] = deque()
-        self.stack: List[Tuple[Frame, str]] = []
+        # Continuation stack.  Reference/fastpath push (frame, label)
+        # tuples; the codegen backend pushes two bare elements — frame,
+        # then thread function — so popping a continuation allocates
+        # nothing.
+        self.stack: List = []
         self.frames: Dict[int, Frame] = {}
         self.istructures = IStructureMemory()
         self.memory = Memory()
@@ -99,9 +120,12 @@ class _NodeState:
 class TamMachine:
     """A whole TAM machine.
 
-    ``fast=True`` (the default) selects the compiled execution path;
-    ``fast=False`` selects the reference interpreter.  Both produce
-    identical statistics and results.
+    ``backend`` selects the execution backend by name — ``"reference"``,
+    ``"fastpath"``, or ``"codegen"`` (:mod:`repro.tam.codegen`, the
+    whole-thread generated-code path).  When ``backend`` is ``None`` the
+    legacy ``fast`` flag decides: ``fast=True`` (the default) is the
+    fastpath, ``fast=False`` the reference interpreter.  All backends
+    produce identical statistics and results.
 
     ``tracer`` opts the machine into message-path event tracing
     (:mod:`repro.obs.tracer`): every posted inter-frame message emits a
@@ -121,35 +145,65 @@ class TamMachine:
     nothing.
     """
 
+    BACKENDS = ("reference", "fastpath", "codegen")
+
     def __init__(
         self,
         n_nodes: int = 1,
         fast: bool = True,
         tracer: Optional[Tracer] = None,
         profiler: Optional["SimProfiler"] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if n_nodes < 1:
             raise TamError("a TAM machine needs at least one node")
+        if backend is None:
+            backend = "fastpath" if fast else "reference"
+        if backend not in self.BACKENDS:
+            raise TamError(
+                f"unknown TAM backend {backend!r} "
+                f"(choose from {', '.join(self.BACKENDS)})"
+            )
         self.n_nodes = n_nodes
-        self.fast = fast
+        self.backend = backend
+        self.fast = backend != "reference"
+        self._is_codegen = backend == "codegen"
         self.nodes = [_NodeState(n) for n in range(n_nodes)]
         self.codeblocks: Dict[str, Codeblock] = {}
         self.stats = TamStats()
         self.turns_executed = 0
         self._rr_next = 0
         self._compiled: Dict[str, object] = {}
-        # The kernel's two service policies (repro.sim.sweep): the
-        # active-flag scheduler used by the fast path is per-machine
-        # state because _post pokes its flag arrays directly; it is
-        # `.active` only while a fast run is in progress.
+        # The kernel's service policies (repro.sim.sweep): the fastpath's
+        # active-flag scheduler and the codegen backend's event heap are
+        # per-machine state because _post pokes them directly; each is
+        # `.active` only while its run is in progress.
         self._sched = ActiveSweep(n_nodes)
+        self._esched = EventSweep(n_nodes)
         self._reference_sched = ReferenceSweep()
-        self._deliver = (
-            self._deliver_message_fast if fast else self._deliver_message
-        )
+        if self._is_codegen:
+            self._deliver = self._deliver_message_codegen
+            if tracer is not None or profiler is not None:
+                # Observed codegen runs are driven by EventSweep
+                # (_run_codegen_generic), so posts must feed its heap.
+                # Instance-attribute override, installed before any
+                # tracer wrapper or load()-time capture sees _post.
+                # Unobserved machines keep the standard _post: the
+                # fused loop drives the ActiveSweep flag arrays, which
+                # _post already maintains.
+                self._post = self._make_event_post()
+        elif self.fast:
+            self._deliver = self._deliver_message_fast
+        else:
+            self._deliver = self._deliver_message
         # Shortcut for the fast path's send accounting (the stats object
         # is created once here and never replaced).
         self._sends_by_words = self.stats.messages.sends_by_words
+        # Codegen run accounting: one run counter per generated thread
+        # (bumped by the generated code), one (instruction mix, send-word
+        # mix) record per thread, folded into stats after each run.
+        self._cg_runs: List[int] = []
+        self._cg_meta: List[Tuple[Tuple, Tuple]] = []
         self.tracer = tracer
         self._trace_seq = 0
         if tracer is not None:
@@ -216,7 +270,9 @@ class TamMachine:
         if codeblock.name in self.codeblocks:
             raise TamError(f"codeblock {codeblock.name!r} already loaded")
         self.codeblocks[codeblock.name] = codeblock
-        if self.fast:
+        if self._is_codegen:
+            self._compiled[codeblock.name] = compile_codegen(codeblock, self)
+        elif self.fast:
             self._compiled[codeblock.name] = compile_codeblock(codeblock, self)
 
     def boot(
@@ -228,6 +284,18 @@ class TamMachine:
         messages and counts nothing.
         """
         frame = self._allocate_frame(0, codeblock_name)
+        if self._is_codegen:
+            for slot, value in (slots or {}).items():
+                flat_write(frame, slot, value)
+            block = frame[2]
+            if block.entry_fn is None:
+                raise TamError(
+                    f"codeblock {codeblock_name!r} has no entry thread"
+                )
+            stack = self.nodes[0].stack
+            stack.append(frame)
+            stack.append(block.entry_fn)
+            return frame[1]
         for slot, value in (slots or {}).items():
             frame.write(slot, value)
         codeblock = frame.codeblock
@@ -236,7 +304,7 @@ class TamMachine:
         self.nodes[0].stack.append((frame, codeblock.entry))
         return frame.ref
 
-    def _allocate_frame(self, node_id: int, codeblock_name: str) -> Frame:
+    def _allocate_frame(self, node_id: int, codeblock_name: str):
         try:
             codeblock = self.codeblocks[codeblock_name]
         except KeyError:
@@ -244,22 +312,47 @@ class TamMachine:
         state = self.nodes[node_id]
         ref = FrameRef(node_id, state.next_frame_id)
         state.next_frame_id += 1
-        frame = Frame(codeblock, ref)
-        if self.fast:
-            compiled = self._compiled[codeblock_name]
-            frame.compiled = compiled
-            frame.inlets = compiled.inlets
+        if self._is_codegen:
+            frame = self._compiled[codeblock_name].make_frame(ref)
+        else:
+            frame = Frame(codeblock, ref)
+            if self.fast:
+                compiled = self._compiled[codeblock_name]
+                frame.compiled = compiled
+                frame.inlets = compiled.inlets
         state.frames[ref.frame_id] = frame
         self.stats.frames_allocated += 1
         return frame
 
     def read_slot(self, ref: FrameRef, slot: int):
         """Host-level frame inspection (results, not program semantics)."""
-        return self._frame(self.nodes[ref.node], ref.frame_id).read(slot)
+        frame = self._frame(self.nodes[ref.node], ref.frame_id)
+        if self._is_codegen:
+            return flat_read(frame, slot)
+        return frame.read(slot)
 
     def write_slot(self, ref: FrameRef, slot: int, value) -> None:
         """Host-level frame setup (e.g. banking the root's own reference)."""
-        self._frame(self.nodes[ref.node], ref.frame_id).write(slot, value)
+        frame = self._frame(self.nodes[ref.node], ref.frame_id)
+        if self._is_codegen:
+            flat_write(frame, slot, value)
+        else:
+            frame.write(slot, value)
+
+    def frame_view(self, ref: FrameRef):
+        """A ``Frame``-shaped view of an activation on any backend.
+
+        Reference/fastpath return the live :class:`Frame`; the codegen
+        backend wraps its flat list in a
+        :class:`~repro.tam.codegen.FlatFrameView` with the same
+        ``slots`` / ``read`` / ``counter_value`` surface, so hosts and
+        equivalence tests compare activations field by field without
+        knowing the backend.
+        """
+        frame = self._frame(self.nodes[ref.node], ref.frame_id)
+        if self._is_codegen:
+            return FlatFrameView(frame)
+        return frame
 
     def istructure_peek(self, ref: "IStructRef", index: int):
         """Host-level I-structure inspection."""
@@ -283,7 +376,9 @@ class TamMachine:
         turn.  Sweeps over idle nodes are not charged against it.
         """
         with PROFILER.span("tam.run"):
-            if self.fast:
+            if self._is_codegen:
+                turns = self._run_codegen(max_turns)
+            elif self.fast:
                 turns = self._run_fast(max_turns)
             else:
                 turns = self._run_reference(max_turns)
@@ -422,6 +517,382 @@ class TamMachine:
             max_turns=max_turns,
             stall=self._turn_stall(max_turns),
         )
+
+    def _run_codegen(self, max_turns: int) -> int:
+        """The generated-code policy: one call per thread, flat frames.
+
+        Threads were compiled to single functions at ``load()`` time
+        (:mod:`repro.tam.codegen`); a continuation is two stack elements
+        (frame list, thread function), so a thread turn is two pops and
+        one call.  Unobserved runs take :meth:`_run_codegen_fused` — the
+        scheduling, delivery, and presence-bit logic fused into one
+        loop; runs with a tracer or profiler keep the callback shape
+        (:meth:`_run_codegen_generic`) so the observed event stream and
+        attribution are identical to the other backends'.
+        """
+        try:
+            if self.tracer is None and self.profiler is None:
+                return self._run_codegen_fused(max_turns)
+            return self._run_codegen_generic(max_turns)
+        finally:
+            # Fold even when the run raised mid-way: the generated code
+            # has already bumped its run counters, and stats accumulate
+            # across run() calls.
+            self._fold_codegen_stats()
+
+    def _run_codegen_fused(self, max_turns: int) -> int:
+        """One loop for scheduling, delivery, and presence bits.
+
+        This inlines, in one frame: :meth:`ActiveSweep.run
+        <repro.sim.sweep.ActiveSweep.run>` — the flag-array realization
+        of the service order all sweep policies share (observed runs
+        take :class:`~repro.sim.sweep.EventSweep`'s heap; at paper
+        scale, 16 nodes nearly all busy every sweep, the C-speed flag
+        scan is measurably cheaper than two Python-side heap operations
+        per turn, and the policies are pinned order-identical) — inlet
+        delivery through the flat frame's dispatch dict (``frame[0]``),
+        and the PRead/PWrite protocols over the I-structure internals
+        (:class:`~repro.node.istructure.IStructureMemory`, with the
+        :class:`~repro.node.istructure.DeferredReader` built only when
+        the read actually defers).  Per-turn cost is what makes or
+        breaks the codegen backend; every layer boundary that remains
+        here shows up directly in the benchmarks.
+        """
+        nodes = self.nodes
+        sched = self._sched
+        n = self.n_nodes
+        in_current = sched.in_current
+        in_next = sched.in_next
+        # stack/inbox are bound once in NodeState.__init__ and never
+        # reassigned, so indexing parallel lists replaces an attribute
+        # load on every turn.
+        stacks = [s.stack for s in nodes]
+        inboxes = [s.inbox for s in nodes]
+        framemaps = [s.frames for s in nodes]
+        # I-structure internals, pre-resolved per node: the descriptor
+        # map and the stats block are both stable attributes, and the
+        # PREAD/PWRITE branches touch them on every presence-bit turn.
+        arraymaps = [s.istructures._arrays for s in nodes]
+        istats = [s.istructures.stats for s in nodes]
+        process = self._process_message
+        mix = self.stats.messages
+        fast_reply = _FAST_REPLY
+        kind_send = MsgKind.SEND
+        kind_reply = MsgKind.REPLY
+        kind_pread = MsgKind.PREAD
+        kind_pwrite = MsgKind.PWRITE
+
+        for state in nodes:
+            if state.stack or state.inbox:
+                in_current[state.node_id] = True
+        sched.sweep_pos = -1
+        sched.active = True
+        turns = 0
+        # Hot message-mix tallies kept in locals and folded in the
+        # finally block: an integer increment beats an attribute
+        # read-modify-write at tens of thousands per run.
+        n_preads_full = 0
+        # Per-node reads_full tallies, likewise folded at the end: a
+        # list-slot increment beats a stats-object attribute RMW on the
+        # single hottest presence-bit counter.
+        reads_full_local = [0] * n
+        try:
+            while True:
+                i = in_current.index(True)
+                while i != n:
+                    in_current[i] = False
+                    stack = stacks[i]
+                    inbox = inboxes[i]
+                    if stack:
+                        # Only generated code consults sweep_pos (for
+                        # the wake rule when it posts), and only thread
+                        # bodies post — message branches below wake
+                        # with the loop's own `i`.
+                        sched.sweep_pos = i
+                        stack.pop()(stack, stack.pop())
+                    else:
+                        # Flagged nodes always have work, so the inbox
+                        # is non-empty here.  TamMessage is a
+                        # NamedTuple; positional access skips the
+                        # attribute descriptors.
+                        message = inbox.popleft()
+                        kind = message[0]
+                        if kind is fast_reply:
+                            # Machine-built reply carrying the bound
+                            # single-value inlet, the frame list, and
+                            # the bare value: delivery is one call, no
+                            # frame/inlet lookup, no values tuple.
+                            message[2](stack, message[3], message[4])
+                        elif kind is kind_pread:
+                            # Compact inline PREAD: [2] reply-inlet fn,
+                            # [3] frame, [4] owner node, [5] descriptor,
+                            # [6] index.
+                            descriptor = message[5]
+                            try:
+                                array = arraymaps[i][descriptor]
+                            except KeyError:
+                                raise IStructureError(
+                                    f"unknown I-structure descriptor "
+                                    f"{descriptor:#x}"
+                                ) from None
+                            element_index = message[6]
+                            # Direct index with a negative guard: one
+                            # comparison on the hot path instead of a
+                            # range test plus a len() call.
+                            try:
+                                if element_index < 0:
+                                    raise IndexError
+                                element = array[element_index]
+                            except IndexError:
+                                raise IStructureError(
+                                    f"index {element_index} outside "
+                                    f"I-structure of {len(array)} elements"
+                                ) from None
+                            if element.full:
+                                reads_full_local[i] += 1
+                                n_preads_full += 1
+                                # Flag stores are idempotent, no dedup.
+                                rnode = message[4]
+                                inboxes[rnode].append((
+                                    fast_reply,
+                                    rnode,
+                                    message[2],
+                                    message[3],
+                                    element.value,
+                                ))
+                                if rnode > i:
+                                    in_current[rnode] = True
+                                else:
+                                    in_next[rnode] = True
+                            else:
+                                waiters = element.waiters
+                                if waiters:
+                                    istats[i].reads_deferred += 1
+                                    mix.preads_deferred += 1
+                                else:
+                                    istats[i].reads_empty += 1
+                                    mix.preads_empty += 1
+                                # Deferred readers keep the same
+                                # (fn, frame, node) shape the reply
+                                # needs — no DeferredReader packing.
+                                waiters.append(
+                                    (message[2], message[3], message[4])
+                                )
+                        elif kind is kind_send or kind is kind_reply:
+                            frame = framemaps[i].get(message[3])
+                            if frame is None:
+                                raise TamError(
+                                    f"node {i}: no frame {message[3]}"
+                                )
+                            deliver = frame[0].get(message[2])
+                            if deliver is None:
+                                raise TamError(
+                                    f"codeblock {frame[2].name!r} has no "
+                                    f"inlet {message[2]}"
+                                )
+                            deliver(stack, frame, message[4])
+                        elif kind is kind_pwrite:
+                            # _on_pwrite with IStructureMemory.write
+                            # inlined, satisfied readers replied to in
+                            # queue order.
+                            descriptor = message[7]
+                            try:
+                                array = arraymaps[i][descriptor]
+                            except KeyError:
+                                raise IStructureError(
+                                    f"unknown I-structure descriptor "
+                                    f"{descriptor:#x}"
+                                ) from None
+                            element_index = message[8]
+                            try:
+                                if element_index < 0:
+                                    raise IndexError
+                                element = array[element_index]
+                            except IndexError:
+                                raise IStructureError(
+                                    f"index {element_index} outside "
+                                    f"I-structure of {len(array)} elements"
+                                ) from None
+                            if element.full:
+                                raise IStructureError(
+                                    f"double write to I-structure "
+                                    f"{descriptor:#x}[{element_index}]"
+                                )
+                            element.full = True
+                            value = message[4][0]
+                            element.value = value
+                            satisfied = element.waiters
+                            if satisfied:
+                                element.waiters = []
+                                n_satisfied = len(satisfied)
+                                istats[i].writes_deferred += 1
+                                istats[i].deferred_readers_satisfied += (
+                                    n_satisfied
+                                )
+                                mix.pwrites_deferred += 1
+                                mix.deferred_readers_satisfied += n_satisfied
+                                for reader in satisfied:
+                                    rnode = reader[2]
+                                    inboxes[rnode].append((
+                                        fast_reply,
+                                        rnode,
+                                        reader[0],
+                                        reader[1],
+                                        value,
+                                    ))
+                                    if rnode > i:
+                                        in_current[rnode] = True
+                                    else:
+                                        in_next[rnode] = True
+                            else:
+                                istats[i].writes_empty += 1
+                                mix.pwrites_empty += 1
+                        else:
+                            # Cold kinds (FALLOC/IALLOC/READ/WRITE)
+                            # post replies through _post, which reads
+                            # sweep_pos for its wake rule.
+                            sched.sweep_pos = i
+                            process(nodes[i], message)
+                    turns += 1
+                    if stack or inbox:
+                        if turns >= max_turns:
+                            raise TamError(
+                                f"TAM run exceeded {max_turns} turns"
+                            )
+                        in_next[i] = True
+                    elif turns >= max_turns and (
+                        in_current.index(True, i + 1) != n
+                        or in_next.index(True) != n
+                    ):
+                        raise TamError(
+                            f"TAM run exceeded {max_turns} turns"
+                        )
+                    i = in_current.index(True, i + 1)
+                sched.sweep_pos = -1
+                if in_next.index(True) == n:
+                    return turns
+                # Promote: the next sweep's flags become the current
+                # sweep's; reassign the sched attributes so wake sites
+                # in generated code see the swap.
+                in_current, in_next = in_next, in_current
+                sched.in_current = in_current
+                sched.in_next = in_next
+        finally:
+            mix.preads_full += n_preads_full
+            for j in range(n):
+                if reads_full_local[j]:
+                    istats[j].reads_full += reads_full_local[j]
+            sched.active = False
+            sched.sweep_pos = -1
+            for i in range(n):
+                in_current[i] = False
+                in_next[i] = False
+
+    def _run_codegen_generic(self, max_turns: int) -> int:
+        """The codegen backend under observation: EventSweep + callbacks.
+
+        Message delivery for the dominant kinds indexes the flat frame
+        directly — ``frame[0]`` is the inlet dispatch dict — unless a
+        tracer is installed, in which case the traced handlers run so
+        every handled message emits its ``tam_handle`` event; a profiler
+        wraps the service callback for per-node turn attribution.
+        """
+        nodes = self.nodes
+        process = self._process_message
+        on_pread = self._on_pread
+        kind_send = MsgKind.SEND
+        kind_reply = MsgKind.REPLY
+        kind_pread = MsgKind.PREAD
+
+        if self.tracer is None:
+            def service(state: _NodeState):
+                stack = state.stack
+                if stack:
+                    fn = stack.pop()
+                    fn(stack, stack.pop())
+                elif state.inbox:
+                    message = state.inbox.popleft()
+                    kind = message[0]
+                    if kind is kind_send or kind is kind_reply:
+                        frame = state.frames.get(message[3])
+                        if frame is None:
+                            raise TamError(
+                                f"node {state.node_id}: no frame {message[3]}"
+                            )
+                        deliver = frame[0].get(message[2])
+                        if deliver is None:
+                            raise TamError(
+                                f"codeblock {frame[2].name!r} has no inlet "
+                                f"{message[2]}"
+                            )
+                        deliver(stack, frame, message[4])
+                    elif kind is kind_pread:
+                        on_pread(state, message)
+                    else:
+                        process(state, message)
+                else:  # pragma: no cover - queued nodes always have work
+                    return None
+                return True if (stack or state.inbox) else False
+        else:
+            deliver_traced = self._deliver
+
+            def service(state: _NodeState):
+                stack = state.stack
+                if stack:
+                    fn = stack.pop()
+                    fn(stack, stack.pop())
+                elif state.inbox:
+                    message = state.inbox.popleft()
+                    kind = message[0]
+                    if kind is kind_send or kind is kind_reply:
+                        deliver_traced(state, message)
+                    elif kind is kind_pread:
+                        on_pread(state, message)
+                    else:
+                        process(state, message)
+                else:  # pragma: no cover - queued nodes always have work
+                    return None
+                return True if (stack or state.inbox) else False
+
+        if self.profiler is not None:
+            service = self._profiled_service(service)
+        return self._esched.run(
+            nodes,
+            service,
+            initially_active=[
+                state.node_id
+                for state in nodes
+                if state.stack or state.inbox
+            ],
+            max_turns=max_turns,
+            stall=self._turn_stall(max_turns),
+        )
+
+    def _fold_codegen_stats(self) -> None:
+        """Fold per-thread run counts into the cumulative statistics.
+
+        Generated threads only bump one integer per run; the instruction
+        mix and send-word counts are static per thread, so the whole
+        run's accounting is ``runs x mix`` here.  Counters are zeroed as
+        they are folded, keeping repeated ``run()`` calls additive.
+        """
+        runs = self._cg_runs
+        meta = self._cg_meta
+        stats = self.stats
+        instructions = stats.instructions
+        sends = self._sends_by_words
+        threads_run = 0
+        for index, count in enumerate(runs):
+            if not count:
+                continue
+            runs[index] = 0
+            threads_run += count
+            mix, send_words = meta[index]
+            for kind, per_run in mix:
+                instructions[kind] += per_run * count
+            for words, per_run in send_words:
+                sends[words] += per_run * count
+        stats.threads_run += threads_run
 
     def _check_quiescence(self) -> None:
         """Detect computations that stopped with unsatisfied waiters.
@@ -618,6 +1089,36 @@ class TamMachine:
             else:
                 sched.in_next[node] = True
 
+    def _make_event_post(self) -> Callable[[TamMessage], None]:
+        """Build the codegen backend's post closure: feeds the event heap.
+
+        Installed as the machine's ``_post`` instance attribute in
+        ``__init__`` (before tracing wraps it and before ``load()``-time
+        compilation captures it).  Same semantics as :meth:`_post` with
+        :meth:`repro.sim.sweep.EventSweep.wake` inlined; a closure over
+        the machine internals rather than a method, because every
+        generated message instruction calls it.
+        """
+        nodes = self.nodes
+        n_nodes = self.n_nodes
+        sched = self._esched
+        queued = sched.queued
+        heap = sched.heap
+
+        def post_event(message: TamMessage) -> None:
+            node = message[1]
+            if node < 0 or node >= n_nodes:
+                raise TamError(f"message addressed to unknown node {node}")
+            nodes[node].inbox.append(message)
+            if sched.active and queued[node] == -1:
+                key = (
+                    sched.sweep if node > sched.sweep_pos else sched.sweep + 1
+                ) * n_nodes + node
+                queued[node] = key
+                heappush(heap, key)
+
+        return post_event
+
     def _frame(self, state: _NodeState, frame_id: int) -> Frame:
         try:
             return state.frames[frame_id]
@@ -683,10 +1184,33 @@ class TamMachine:
             )
         deliver(state, frame, message.values)
 
+    def _deliver_message_codegen(
+        self, state: _NodeState, message: TamMessage
+    ) -> None:
+        frame = state.frames.get(message.frame_id)
+        if frame is None:
+            raise TamError(f"node {state.node_id}: no frame {message.frame_id}")
+        deliver = frame[0].get(message.inlet)
+        if deliver is None:
+            raise TamError(
+                f"codeblock {frame[2].name!r} has no inlet "
+                f"{message.inlet}"
+            )
+        deliver(state.stack, frame, message.values)
+
     def _on_falloc(self, state: _NodeState, message: TamMessage) -> None:
         frame = self._allocate_frame(state.node_id, message.codeblock)
-        if frame.codeblock.entry is not None:
-            state.stack.append((frame, frame.codeblock.entry))
+        if self._is_codegen:
+            entry_fn = frame[2].entry_fn
+            if entry_fn is not None:
+                stack = state.stack
+                stack.append(frame)
+                stack.append(entry_fn)
+            ref = frame[1]
+        else:
+            if frame.codeblock.entry is not None:
+                state.stack.append((frame, frame.codeblock.entry))
+            ref = frame.ref
         assert message.reply_to is not None
         self.stats.messages.count_send(1)  # the frame-ref reply is a Send
         self._post(
@@ -695,7 +1219,7 @@ class TamMachine:
                 node=message.reply_to[0].node,
                 frame_id=message.reply_to[0].frame_id,
                 inlet=message.reply_to[1],
-                values=(frame.ref,),
+                values=(ref,),
             )
         )
 

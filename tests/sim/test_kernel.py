@@ -170,6 +170,43 @@ class TestWakeSleep:
             kernel.run(max_cycles=50)
 
 
+class TestTimedWakeTies:
+    """Heap ties resolve like the flag-array scan: registration order.
+
+    The timed-wake heap stores ``(cycle, index)`` events, so several
+    components due on the same cycle pop in index order — exactly the
+    order the awake-flag ``list.index`` scan would service them.  The
+    repeat run pins the order as deterministic, and the
+    ``fast_forward=False`` twin pins it equal to the literal
+    cycle-by-cycle loop's.
+    """
+
+    @staticmethod
+    def _run_tied(fast_forward):
+        log = []
+        kernel = SimKernel(fast_forward=fast_forward)
+        components = [Recorder(f"c{i}", 1, log) for i in range(5)]
+        handles = [kernel.register(c) for c in components]
+        # Same due cycle for every component, scheduled in reverse so a
+        # naive insertion order would differ from index order.
+        for handle in reversed(handles):
+            handle.wake_at(10)
+        kernel.run()
+        return log
+
+    @pytest.mark.parametrize("fast_forward", [True, False])
+    def test_same_cycle_wakes_tick_in_registration_order(self, fast_forward):
+        assert self._run_tied(fast_forward) == [
+            (f"c{i}", 10) for i in range(5)
+        ]
+
+    def test_tie_order_is_deterministic_across_repeats(self):
+        runs = [self._run_tied(fast_forward=True) for _ in range(5)]
+        assert all(run == runs[0] for run in runs)
+        # ...and identical to the flag-scan (no fast-forward) loop.
+        assert runs[0] == self._run_tied(fast_forward=False)
+
+
 class TestHooks:
     def test_cycle_hook_sees_every_cycle(self):
         seen = []
