@@ -1,0 +1,127 @@
+"""The topology × routing × load sweep, recorded into the perf database.
+
+Runs the synthetic-traffic network sweep (:mod:`repro.eval.netsweep`)
+and appends one record per run to ``results/perfdb``: every grid cell's
+throughput and latency land under distinct metric names
+(``mesh64_escape-vc_inj0.2_throughput`` …) so
+``python -m repro.obs.report`` can trend each saturation curve point
+across commits, while the one ``sweep_seconds`` wall-clock metric is
+what the CI regression gate judges (only ``*_seconds`` metrics face the
+gate).
+
+Run standalone::
+
+    python benchmarks/bench_netsweep.py [--smoke] [--paper-scale]
+        [--routing POLICY ...] [--seed N] [--rates R ...]
+        [--pattern P] [--perfdb DIR]
+
+``--smoke`` is CI's quick pass — the 8×8-mesh three-rate grid under a
+separate ``netsweep-smoke`` bench name so its timings never pollute the
+full-run trend history.
+"""
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.eval.netsweep import (
+    compute_netsweep,
+    netsweep_params,
+    render_netsweep,
+    sweep_metrics,
+)
+from repro.exp.spec import EvalOptions
+from repro.network.routing import POLICY_NAMES
+from repro.network.traffic import PATTERNS
+from repro.obs import perfdb
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_NAME = "netsweep"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "CI quick pass: the default 8x8-mesh grid, recorded under a "
+            "separate '-smoke' bench name"
+        ),
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="the full grid: {mesh, torus} x all policies at 64 and 256 nodes",
+    )
+    parser.add_argument(
+        "--routing",
+        nargs="*",
+        choices=POLICY_NAMES,
+        default=None,
+        help="restrict the sweep to these routing policies",
+    )
+    parser.add_argument(
+        "--rates",
+        nargs="*",
+        type=float,
+        default=None,
+        help="override the injection-rate ladder (messages/node/cycle)",
+    )
+    parser.add_argument(
+        "--pattern",
+        choices=PATTERNS,
+        default=None,
+        help="override the traffic pattern (default: uniform)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the RNG seed shared by injection and adaptive routing",
+    )
+    parser.add_argument(
+        "--perfdb",
+        type=Path,
+        default=REPO_ROOT / perfdb.DEFAULT_DB_DIR,
+        help="perf database directory (default: results/perfdb)",
+    )
+    args = parser.parse_args(argv)
+
+    params = netsweep_params(EvalOptions(paper_scale=args.paper_scale))
+    if args.routing:
+        params["policies"] = list(args.routing)
+    if args.rates:
+        params["rates"] = list(args.rates)
+    if args.pattern:
+        params["pattern"] = args.pattern
+    if args.seed is not None:
+        params["seed"] = args.seed
+
+    start = time.perf_counter()
+    payload = compute_netsweep(params)
+    elapsed = time.perf_counter() - start
+    print(render_netsweep(params, payload))
+    print()
+
+    metrics = sweep_metrics(payload)
+    metrics["sweep_seconds"] = round(elapsed, 4)
+    record = perfdb.make_record(
+        bench=f"{BENCH_NAME}-smoke" if args.smoke else BENCH_NAME,
+        metrics=metrics,
+        meta={
+            "pattern": params["pattern"],
+            "seed": params["seed"],
+            "configs": [list(c) for c in params["configs"]],
+            "policies": list(params["policies"]),
+            "rates": list(params["rates"]),
+        },
+    )
+    path = perfdb.append_record(args.perfdb, record)
+    print(f"swept {len(payload['curves'])} curves in {elapsed:.2f}s")
+    print(f"appended perfdb record to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

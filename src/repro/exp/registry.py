@@ -29,6 +29,7 @@ EVAL_MODULES = (
     "grain",
     "survey",
     "flowcontrol",
+    "netsweep",
 )
 
 _REGISTRY: Dict[str, "ExperimentSpec"] = {}

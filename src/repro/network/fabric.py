@@ -1,8 +1,8 @@
 """The whole-machine fabric: interfaces wired through routers.
 
 The fabric advances in cycles.  Each cycle, every router moves at most one
-message per output (link or ejection port), always subject to the next
-buffer's credit; every interface's output queue feeds its router's
+message per output (physical link or ejection port), always subject to the
+next buffer's credit; every interface's output queue feeds its router's
 injection buffer, and ejected messages are delivered through
 :meth:`NetworkInterface.deliver` — which refuses when the input queue is
 full, pushing the backpressure chain the paper describes in Section 2.1.1:
@@ -10,6 +10,17 @@ full, pushing the backpressure chain the paper describes in Section 2.1.1:
     "its input message queue backs up into the network.  As the network
     becomes clogged, processors can no longer transmit messages and
     eventually their output queues fill up."
+
+*Which* link a message takes is the routing policy's decision
+(:mod:`repro.network.routing`): for each head-of-buffer message the
+policy returns an ordered tuple of ``(next node, virtual channel)``
+candidates from the topology and the router's cycle-start congestion
+view, and the output arbitration takes the first candidate whose
+physical link is still free this cycle and whose downstream buffer has
+credit — falling back to the first free-link candidate (a blocked move)
+when none has credit.  The default :class:`DimensionOrder` policy emits
+exactly one candidate, which reduces the arbitration to the pre-policy
+behaviour byte for byte.
 
 Service decisions *and credits* are snapshotted at the start of the
 cycle: a buffer slot freed by a move earlier in the same cycle is not
@@ -29,6 +40,13 @@ Observability is opt-in: pass ``tracer=`` / ``metrics=`` to record
 structured events (:mod:`repro.obs.tracer`) and per-cycle time series
 (:mod:`repro.obs.metrics`); with both left ``None`` the cycle loop pays
 only a pair of identity checks.
+
+Deadlock is a first-class diagnostic: :meth:`Fabric.find_deadlock`
+searches the buffer wait-for graph for a cycle of full buffers whose
+head messages all wait on each other, and the fabric's kernel
+``snapshot`` names that cycle — so a stalled
+:meth:`run_until_quiescent` reports *which* buffers deadlocked, not just
+that the run timed out.
 """
 
 from __future__ import annotations
@@ -37,7 +55,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import NetworkError
-from repro.network.router import InTransit, Router
+from repro.network.router import InTransit, Router, SourceKey
+from repro.network.routing import DimensionOrder, RoutingPolicy
 from repro.network.topology import Topology
 from repro.nic.interface import NetworkInterface
 from repro.nic.messages import Message
@@ -87,10 +106,12 @@ class Fabric:
         interfaces: Optional[Sequence[NetworkInterface]] = None,
         link_buffer_depth: int = 4,
         serialization_cycles: int = FLITS_PER_MESSAGE,
+        routing: Optional[RoutingPolicy] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRecorder] = None,
     ) -> None:
         self.topology = topology
+        self.routing = routing if routing is not None else DimensionOrder()
         if interfaces is None:
             interfaces = [NetworkInterface(node=n) for n in range(topology.n_nodes)]
         if len(interfaces) != topology.n_nodes:
@@ -99,7 +120,12 @@ class Fabric:
             )
         self.interfaces: List[NetworkInterface] = list(interfaces)
         self.routers = [
-            Router(node, topology.neighbors(node), link_buffer_depth)
+            Router(
+                node,
+                topology.neighbors(node),
+                link_buffer_depth,
+                num_vcs=self.routing.num_vcs,
+            )
             for node in range(topology.n_nodes)
         ]
         self.serialization_cycles = max(1, serialization_cycles)
@@ -109,7 +135,7 @@ class Fabric:
         self.stats = FabricStats()
         self.tracer = tracer
         self.metrics = metrics
-        self._n_links = sum(len(r.in_buffers) for r in self.routers)
+        self._n_links = sum(len(r.neighbors) for r in self.routers)
         self._almost_full_state: Dict[Tuple[int, str], bool] = {}
         if tracer is not None:
             clock = lambda: self.stats.cycles  # noqa: E731 - shared cycle clock
@@ -134,6 +160,32 @@ class Fabric:
             self._sample_metrics(delivered, link_moves)
         return delivered
 
+    def _choose_link(
+        self, router: Router, destination: int, outputs_used: set
+    ) -> Optional[Tuple[int, int]]:
+        """Arbitrate one message's output: the first routing candidate
+        whose physical link is free this cycle and whose downstream
+        buffer has cycle-start credit; with no credit anywhere, the
+        first free-link candidate (the caller charges a blocked move);
+        ``None`` when every candidate link is already spoken for."""
+        routers = self.routers
+        node = router.node
+
+        def free(neighbor: int, vc: int) -> int:
+            return routers[neighbor].free_slots(node, vc)
+
+        fallback = None
+        for next_node, vc in self.routing.candidates(
+            self.topology, node, destination, free
+        ):
+            if ("link", next_node) in outputs_used:
+                continue
+            if fallback is None:
+                fallback = (next_node, vc)
+            if routers[next_node].can_accept_from(node, vc):
+                return (next_node, vc)
+        return fallback
+
     def _move_messages(self) -> Tuple[int, int]:
         delivered = 0
         link_moves = 0
@@ -142,9 +194,10 @@ class Fabric:
         # so a message cannot traverse two links in one cycle and a
         # buffer slot freed by an earlier move this cycle cannot be
         # consumed by a later one (drain order must not depend on router
-        # iteration order).
-        moves = []
-        link_credit: Dict[Tuple[int, int], bool] = {}
+        # iteration order).  Routing candidates see the same cycle-start
+        # congestion view for the same reason.
+        moves: List[Tuple[Router, SourceKey, Tuple[str, int, int]]] = []
+        link_credit: Dict[Tuple[int, int, int], bool] = {}
         eject_credit: Dict[int, bool] = {}
         for router in self.routers:
             outputs_used = set()
@@ -152,24 +205,26 @@ class Fabric:
                 item = router.peek(source)
                 destination = item.message.destination
                 if destination == router.node:
-                    port = ("eject", router.node)
-                else:
-                    port = ("link", self.topology.next_hop(router.node, destination))
-                if port in outputs_used:
-                    continue
-                outputs_used.add(port)
-                moves.append((router, source, port))
-                if port[0] == "link":
-                    key = (port[1], router.node)
-                    link_credit[key] = self.routers[port[1]].can_accept_from(
-                        router.node
-                    )
-                else:
+                    if ("eject", router.node) in outputs_used:
+                        continue
+                    outputs_used.add(("eject", router.node))
+                    moves.append((router, source, ("eject", router.node, 0)))
                     eject_credit[router.node] = self.interfaces[
                         router.node
                     ].can_accept()
+                    continue
+                chosen = self._choose_link(router, destination, outputs_used)
+                if chosen is None:
+                    continue
+                next_node, vc = chosen
+                outputs_used.add(("link", next_node))
+                key = (next_node, router.node, vc)
+                link_credit[key] = self.routers[next_node].can_accept_from(
+                    router.node, vc
+                )
+                moves.append((router, source, ("link", next_node, vc)))
         for router, source, port in moves:
-            kind, target = port
+            kind, target, vc = port
             item = router.peek(source)
             if kind == "eject":
                 interface = self.interfaces[router.node]
@@ -204,13 +259,15 @@ class Fabric:
                             self.stats.cycles, BLOCK, router.node, port="eject"
                         )
             else:
-                next_router = self.routers[target]
-                key = (target, router.node)
+                key = (target, router.node, vc)
                 if link_credit[key]:
-                    # One credit per link per cycle (only this router
-                    # feeds the (target, self) buffer, but be explicit).
+                    # One credit per link channel per cycle (only this
+                    # router feeds the (target, self, vc) buffer, but be
+                    # explicit).
                     link_credit[key] = False
-                    next_router.accept_from(router.node, router.take(source))
+                    self.routers[target].accept_from(
+                        router.node, router.take(source), vc
+                    )
                     router.stats.forwarded += 1
                     link_moves += 1
                 else:
@@ -298,9 +355,89 @@ class Fabric:
             ni.output_queue.depth for ni in self.interfaces
         )
 
+    # ------------------------------------------------------------------
+    # Deadlock detection.
+    # ------------------------------------------------------------------
+
+    def find_deadlock(self) -> Optional[List[str]]:
+        """A cycle of full buffers whose heads all wait on each other.
+
+        Builds the buffer wait-for graph: each **full** link buffer's
+        head message contributes edges to every candidate downstream
+        buffer that is itself full (a head with any non-full candidate
+        can still move, so it cannot sustain a deadlock).  A cycle in
+        that graph is a true deadlock under credit flow control: every
+        buffer in it waits, forever, on the next.  Returns the cycle as
+        human-readable buffer descriptions (closing entry repeated), or
+        ``None`` when no such cycle exists — e.g. mere congestion, or an
+        endpoint refusing deliveries, which backpressure resolves once
+        the endpoint drains.
+        """
+        routers = self.routers
+        # Wait-for edges between full link buffers, keyed (node, neighbor, vc).
+        edges: Dict[Tuple[int, int, int], List[Tuple[int, int, int]]] = {}
+        heads: Dict[Tuple[int, int, int], int] = {}
+        for router in routers:
+            for key, buffer in router.in_buffers.items():
+                if len(buffer) < router.link_buffer_depth:
+                    continue
+                destination = buffer[0].message.destination
+                if destination == router.node:
+                    continue  # waiting on the endpoint, not on a buffer
+                node_key = (router.node,) + key
+                heads[node_key] = destination
+
+                def free(neighbor: int, vc: int, _node=router.node) -> int:
+                    return routers[neighbor].free_slots(_node, vc)
+
+                waits = []
+                blocked_everywhere = True
+                for next_node, vc in self.routing.candidates(
+                    self.topology, router.node, destination, free
+                ):
+                    downstream = routers[next_node]
+                    if downstream.free_slots(router.node, vc) > 0:
+                        blocked_everywhere = False
+                        break
+                    waits.append((next_node, router.node, vc))
+                if blocked_everywhere:
+                    edges[node_key] = waits
+        # Cycle search over the wait-for graph (iterative DFS, colours).
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {key: WHITE for key in edges}
+        for start in edges:
+            if colour[start] != WHITE:
+                continue
+            stack: List[Tuple[Tuple[int, int, int], int]] = [(start, 0)]
+            path = [start]
+            colour[start] = GREY
+            while stack:
+                node_key, branch = stack[-1]
+                successors = [w for w in edges.get(node_key, ()) if w in edges]
+                if branch < len(successors):
+                    stack[-1] = (node_key, branch + 1)
+                    succ = successors[branch]
+                    if colour.get(succ) == GREY:
+                        cycle = path[path.index(succ):] + [succ]
+                        return [
+                            f"router {n} buffer from {nb} vc{vc} "
+                            f"(head -> {heads[(n, nb, vc)]})"
+                            for n, nb, vc in cycle
+                        ]
+                    if colour.get(succ) == WHITE:
+                        colour[succ] = GREY
+                        stack.append((succ, 0))
+                        path.append(succ)
+                else:
+                    colour[node_key] = BLACK
+                    stack.pop()
+                    path.pop()
+        return None
+
     # The fabric is itself a kernel component (repro.sim): one tick is
     # one cycle, quiescence is "no undelivered traffic", and the stall
-    # snapshot shows where messages are stuck.
+    # snapshot shows where messages are stuck — naming the deadlocked
+    # buffer cycle when one exists.
 
     name = "fabric"
 
@@ -312,7 +449,7 @@ class Fabric:
 
     def snapshot(self) -> Dict[str, object]:
         """Diagnostic state for the kernel's stall report."""
-        return {
+        state: Dict[str, object] = {
             "in_flight": self.in_flight(),
             "output_queues": {
                 ni.node: ni.output_queue.depth
@@ -326,13 +463,19 @@ class Fabric:
             },
             "cycles": self.stats.cycles,
         }
+        deadlock = self.find_deadlock()
+        if deadlock is not None:
+            state["deadlock"] = " -> ".join(deadlock)
+        return state
 
     def run_until_quiescent(self, max_cycles: int = 100_000) -> int:
         """Step until no traffic remains in routers or output queues.
 
         Input queues may remain non-empty (that is endpoint work); raises
         with the kernel's diagnostic snapshot if the fabric cannot drain
-        — e.g. receivers never accept — within ``max_cycles``.
+        — e.g. receivers never accept, or the routing policy deadlocked
+        (the snapshot then names the buffer-wait cycle) — within
+        ``max_cycles``.
         """
         kernel = SimKernel()
         kernel.register(self)

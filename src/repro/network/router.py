@@ -1,4 +1,4 @@
-"""A per-node router with bounded buffers and credit backpressure.
+"""A per-node router with per-VC bounded buffers and credit backpressure.
 
 The router moves whole messages (the flit-serial view lives in
 :mod:`repro.nic.rtl`); what matters to the architecture's flow-control
@@ -10,20 +10,33 @@ story (paper Section 2.1.1) is preserved exactly:
 * when the backpressure reaches a sender's output queue, its ``SEND``
   stalls or traps per the CONTROL register.
 
-Each router has one input buffer per incoming link, an injection buffer
-fed by the local interface's output queue, and an ejection path into the
-local interface's input queue.
+Each incoming link carries ``num_vcs`` virtual channels, each with its
+own bounded buffer and its own credit; which channel a message rides is
+the routing policy's choice (:mod:`repro.network.routing` — adaptive
+policies spread over channels, :class:`~repro.network.routing.EscapeVC`
+reserves channel 0 as the dimension-order escape path).  With the
+default single channel the router is byte-identical to its pre-VC self.
+
+A buffer is identified by its *source key*: ``(neighbor, vc)`` for a
+link channel, ``None`` for the injection buffer fed by the local
+interface's output queue.  The ejection path into the local interface's
+input queue needs no buffer of its own.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
 
 from repro.errors import NetworkError
 from repro.nic.messages import Message
 from repro.obs.tracer import HOP, INJECT, Tracer
+
+#: A link buffer's identity: (upstream neighbor, virtual channel).
+#: ``None`` identifies the injection buffer.  A bare neighbor id is
+#: accepted anywhere a source key is and means its channel 0.
+SourceKey = Optional[Union[int, Tuple[int, int]]]
 
 
 def _zero_clock() -> int:
@@ -73,14 +86,23 @@ class Router:
         neighbors: Tuple[int, ...],
         link_buffer_depth: int = 4,
         injection_depth: int = 4,
+        num_vcs: int = 1,
     ) -> None:
         if link_buffer_depth < 1 or injection_depth < 1:
             raise NetworkError("router buffers must hold at least one message")
+        if num_vcs < 1:
+            raise NetworkError("routers need at least one virtual channel")
         self.node = node
+        self.neighbors = tuple(neighbors)
         self.link_buffer_depth = link_buffer_depth
         self.injection_depth = injection_depth
-        self.in_buffers: Dict[int, Deque[InTransit]] = {
-            neighbor: deque() for neighbor in neighbors
+        self.num_vcs = num_vcs
+        # Neighbor-major, channel-minor: with one VC the iteration order
+        # is exactly the old per-neighbor order.
+        self.in_buffers: Dict[Tuple[int, int], Deque[InTransit]] = {
+            (neighbor, vc): deque()
+            for neighbor in self.neighbors
+            for vc in range(num_vcs)
         }
         self.injection: Deque[InTransit] = deque()
         self.stats = RouterStats()
@@ -95,16 +117,29 @@ class Router:
         if clock is not None:
             self._clock = clock
 
+    def _buffer_key(self, neighbor: int, vc: int) -> Tuple[int, int]:
+        key = (neighbor, vc)
+        if key not in self.in_buffers:
+            raise NetworkError(
+                f"router {self.node} has no link from {neighbor} vc{vc}"
+            )
+        return key
+
     # ------------------------------------------------------------------
     # Capacity checks (credits).
     # ------------------------------------------------------------------
 
-    def can_accept_from(self, neighbor: int) -> bool:
-        if neighbor not in self.in_buffers:
-            raise NetworkError(
-                f"router {self.node} has no link from {neighbor}"
-            )
-        return len(self.in_buffers[neighbor]) < self.link_buffer_depth
+    def can_accept_from(self, neighbor: int, vc: int = 0) -> bool:
+        return len(self.in_buffers[self._buffer_key(neighbor, vc)]) < (
+            self.link_buffer_depth
+        )
+
+    def free_slots(self, neighbor: int, vc: int = 0) -> int:
+        """Remaining credit on the (neighbor, vc) buffer — the congestion
+        view adaptive policies rank candidates by."""
+        return self.link_buffer_depth - len(
+            self.in_buffers[self._buffer_key(neighbor, vc)]
+        )
 
     def can_inject(self) -> bool:
         return len(self.injection) < self.injection_depth
@@ -113,18 +148,18 @@ class Router:
     # Data movement.
     # ------------------------------------------------------------------
 
-    def accept_from(self, neighbor: int, item: InTransit) -> None:
+    def accept_from(self, neighbor: int, item: InTransit, vc: int = 0) -> None:
         """Take one message arriving over the link from ``neighbor``.
 
         The *sending* router's ``forwarded`` counter is maintained by the
         fabric at the move; accepting counts only the hop itself.
         """
-        if not self.can_accept_from(neighbor):
+        if not self.can_accept_from(neighbor, vc):
             raise NetworkError(
-                f"router {self.node}: link buffer from {neighbor} is full"
+                f"router {self.node}: link buffer from {neighbor} vc{vc} is full"
             )
         item.hops += 1
-        self.in_buffers[neighbor].append(item)
+        self.in_buffers[(neighbor, vc)].append(item)
         if self.tracer is not None:
             self.tracer.emit(
                 self._clock(),
@@ -148,28 +183,35 @@ class Router:
                 dest=item.message.destination,
             )
 
-    def pending_sources(self) -> List[Optional[int]]:
-        """Buffer identifiers with a message ready, in service order.
+    def pending_sources(self) -> List[SourceKey]:
+        """Buffer keys with a message ready, in service order.
 
-        ``None`` identifies the injection buffer.  Link buffers are served
-        before injection so network traffic drains ahead of new load —
-        the usual anti-livelock priority.
+        Link channels are served neighbor-major, channel-minor, before
+        the injection buffer (``None``) so network traffic drains ahead
+        of new load — the usual anti-livelock priority.
         """
-        order: List[Optional[int]] = [
-            neighbor for neighbor, buffer in self.in_buffers.items() if buffer
+        order: List[SourceKey] = [
+            key for key, buffer in self.in_buffers.items() if buffer
         ]
         if self.injection:
             order.append(None)
         return order
 
-    def peek(self, source: Optional[int]) -> InTransit:
-        buffer = self.injection if source is None else self.in_buffers[source]
+    def _buffer(self, source: SourceKey) -> Deque[InTransit]:
+        if source is None:
+            return self.injection
+        if isinstance(source, int):
+            source = (source, 0)
+        return self.in_buffers[self._buffer_key(*source)]
+
+    def peek(self, source: SourceKey) -> InTransit:
+        buffer = self._buffer(source)
         if not buffer:
             raise NetworkError(f"router {self.node}: buffer {source} is empty")
         return buffer[0]
 
-    def take(self, source: Optional[int]) -> InTransit:
-        buffer = self.injection if source is None else self.in_buffers[source]
+    def take(self, source: SourceKey) -> InTransit:
+        buffer = self._buffer(source)
         if not buffer:
             raise NetworkError(f"router {self.node}: buffer {source} is empty")
         return buffer.popleft()

@@ -1,0 +1,294 @@
+"""Pluggable routing policies: (node, destination, congestion) → ports.
+
+The paper's architecture assumes only *some* network that delivers
+five-word messages and exerts backpressure; which route a message takes
+is a property of the machine the interface is dropped into, not of the
+interface.  This module makes that separation explicit:
+
+* :class:`~repro.network.topology.Topology` describes **structure** —
+  nodes, links, neighbors, closed-form distance;
+* a :class:`RoutingPolicy` maps a message's position, its destination,
+  and the router's *local congestion view* to an ordered tuple of
+  candidate output ports, each a ``(next node, virtual channel)`` pair.
+
+Three policies cover the classic design points (the gem5/Garnet sweep
+the evaluation mirrors uses the same trio):
+
+* :class:`DimensionOrder` — deterministic minimal routing, one
+  candidate, one virtual channel.  Byte-identical to the pre-refactor
+  behaviour where each topology baked in its own ``next_hop``.
+* :class:`AdaptiveRandom` — minimal-adaptive: every productive neighbor
+  is a candidate, preferred by downstream buffer space, ties broken by
+  a seeded RNG so runs stay reproducible.  No escape path — this policy
+  *can* deadlock, which is exactly what the deadlock detector's tests
+  exploit.
+* :class:`EscapeVC` — minimal-adaptive on virtual channel 1 with a
+  dimension-order **escape** channel on virtual channel 0 (Duato's
+  scheme): whenever the adaptive candidates are all blocked, the
+  deadlock-free escape channel is still offered, so cyclic waits cannot
+  close.
+
+Policies are stateless except for their RNG, so one instance drives a
+whole fabric; construct a fresh policy (same seed) to replay a run
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Tuple
+
+from repro.errors import RoutingError
+from repro.network.topology import Hypercube, Mesh2D, Topology, Torus2D
+
+#: One candidate output port: (next node, virtual channel).
+Port = Tuple[int, int]
+
+#: The router's local congestion view: free downstream buffer slots for
+#: the link to ``next_node`` on ``vc``, as of the start of the cycle.
+FreeSlots = Callable[[int, int], int]
+
+#: Registry of policy names accepted by ``routing=`` knobs.
+POLICY_NAMES = ("dimension-order", "adaptive-random", "escape-vc")
+
+
+def make_policy(name: str, seed: int = 0) -> "RoutingPolicy":
+    """Build a policy from its CLI/sweep name (see :data:`POLICY_NAMES`)."""
+    if name == "dimension-order":
+        return DimensionOrder()
+    if name == "adaptive-random":
+        return AdaptiveRandom(seed=seed)
+    if name == "escape-vc":
+        return EscapeVC(seed=seed)
+    raise RoutingError(
+        f"unknown routing policy {name!r}; known: {', '.join(POLICY_NAMES)}"
+    )
+
+
+class RoutingPolicy:
+    """Maps (node, destination, congestion view) to candidate ports.
+
+    ``num_vcs`` is the number of virtual channels the policy needs on
+    every link; the fabric sizes its routers' buffers from it.  The
+    candidate tuple is ordered by preference — the router's output
+    arbitration walks it and takes the first port whose physical link is
+    free this cycle and whose downstream buffer has credit, falling back
+    to the first free-link candidate (charged as a blocked move) when
+    none has credit.
+    """
+
+    name: str = "policy"
+    num_vcs: int = 1
+
+    def candidates(
+        self,
+        topology: Topology,
+        node: int,
+        destination: int,
+        free_slots: FreeSlots,
+    ) -> Tuple[Port, ...]:
+        """Ordered candidate output ports for one head-of-buffer message."""
+        raise NotImplementedError
+
+
+def minimal_neighbors(
+    topology: Topology, node: int, destination: int
+) -> Tuple[int, ...]:
+    """Neighbors strictly closer to ``destination``, ascending node id.
+
+    Closed-form :meth:`~repro.network.topology.Topology.distance` makes
+    this O(degree); the sorted order is what keeps adaptive policies
+    deterministic under a fixed RNG seed.
+    """
+    here = topology.distance(node, destination)
+    return tuple(
+        sorted(
+            neighbor
+            for neighbor in topology.neighbors(node)
+            if topology.distance(neighbor, destination) < here
+        )
+    )
+
+
+class DimensionOrder(RoutingPolicy):
+    """Deterministic dimension-order routing; the pre-refactor behaviour.
+
+    * Mesh: correct X to the destination column, then Y.
+    * Torus: same, but each axis steps in its shortest wrap direction
+      (ties break toward +1, exactly the legacy ``_step_toward``).
+    * Hypercube: flip the lowest differing address bit.
+
+    One candidate, virtual channel 0, ignoring congestion — a blocked
+    link simply waits, which is what makes the policy deterministic and
+    (on the mesh and hypercube) deadlock-free.
+    """
+
+    name = "dimension-order"
+    num_vcs = 1
+
+    def next_hop(self, topology: Topology, node: int, destination: int) -> int:
+        """The single deterministic next node toward ``destination``."""
+        topology.check_node(node)
+        topology.check_node(destination)
+        if node == destination:
+            raise RoutingError(f"next_hop called at the destination {node}")
+        # Torus before Mesh: Torus2D subclasses Mesh2D.
+        if isinstance(topology, Torus2D):
+            return self._torus_hop(topology, node, destination)
+        if isinstance(topology, Mesh2D):
+            return self._mesh_hop(topology, node, destination)
+        if isinstance(topology, Hypercube):
+            return self._hypercube_hop(node, destination)
+        raise RoutingError(
+            f"dimension-order routing does not know {type(topology).__name__}"
+        )
+
+    @staticmethod
+    def _mesh_hop(topology: Mesh2D, node: int, destination: int) -> int:
+        x, y = topology.coordinates(node)
+        dx, dy = topology.coordinates(destination)
+        if x < dx:
+            return topology.node_at(x + 1, y)
+        if x > dx:
+            return topology.node_at(x - 1, y)
+        if y < dy:
+            return topology.node_at(x, y + 1)
+        return topology.node_at(x, y - 1)
+
+    @staticmethod
+    def _step_toward(position: int, target: int, size: int) -> int:
+        """One wrap-aware step along a torus axis; ties go forward (+1)."""
+        forward = (target - position) % size
+        backward = (position - target) % size
+        if forward == 0:
+            return position
+        if forward <= backward:
+            return (position + 1) % size
+        return (position - 1) % size
+
+    @classmethod
+    def _torus_hop(cls, topology: Torus2D, node: int, destination: int) -> int:
+        x, y = topology.coordinates(node)
+        dx, dy = topology.coordinates(destination)
+        nx = cls._step_toward(x, dx, topology.width)
+        if nx != x:
+            return topology.node_at(nx, y)
+        ny = cls._step_toward(y, dy, topology.height)
+        return topology.node_at(x, ny)
+
+    @staticmethod
+    def _hypercube_hop(node: int, destination: int) -> int:
+        diff = node ^ destination
+        lowest = diff & -diff
+        return node ^ lowest
+
+    def candidates(
+        self,
+        topology: Topology,
+        node: int,
+        destination: int,
+        free_slots: FreeSlots,
+    ) -> Tuple[Port, ...]:
+        return ((self.next_hop(topology, node, destination), 0),)
+
+
+class AdaptiveRandom(RoutingPolicy):
+    """Minimal-adaptive routing with seeded-random tie-breaking.
+
+    All productive neighbors are candidates.  They are offered most-free
+    downstream buffer first; among equally-free links the seeded RNG
+    picks the leader and the rest follow in ascending node id, so the
+    whole run is a pure function of the seed.  With a single virtual
+    channel and no escape path, cyclic channel waits are possible — see
+    :class:`EscapeVC` for the deadlock-free variant and
+    :meth:`repro.network.fabric.Fabric.find_deadlock` for the detector
+    this policy's failure mode exercises.
+    """
+
+    name = "adaptive-random"
+    num_vcs = 1
+
+    #: Virtual channel the adaptive candidates use.
+    adaptive_vc = 0
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def _adaptive_ports(
+        self,
+        topology: Topology,
+        node: int,
+        destination: int,
+        free_slots: FreeSlots,
+    ) -> Tuple[Port, ...]:
+        minimal = minimal_neighbors(topology, node, destination)
+        if not minimal:
+            raise RoutingError(
+                f"no productive neighbor from {node} to {destination} in "
+                f"{topology.describe()}"
+            )
+        vc = self.adaptive_vc
+        if len(minimal) == 1:
+            return ((minimal[0], vc),)
+        free = {neighbor: free_slots(neighbor, vc) for neighbor in minimal}
+        best = max(free.values())
+        pool = [neighbor for neighbor in minimal if free[neighbor] == best]
+        leader = pool[0] if len(pool) == 1 else self._rng.choice(pool)
+        rest = sorted(
+            (n for n in minimal if n != leader),
+            key=lambda n: (-free[n], n),
+        )
+        return ((leader, vc),) + tuple((n, vc) for n in rest)
+
+    def candidates(
+        self,
+        topology: Topology,
+        node: int,
+        destination: int,
+        free_slots: FreeSlots,
+    ) -> Tuple[Port, ...]:
+        return self._adaptive_ports(topology, node, destination, free_slots)
+
+
+class EscapeVC(AdaptiveRandom):
+    """Minimal-adaptive with a dimension-order escape virtual channel.
+
+    Virtual channel 1 carries the adaptive candidates (exactly
+    :class:`AdaptiveRandom`'s, same RNG discipline); virtual channel 0
+    is the **escape** channel, always offered last, routed strictly
+    dimension-order.  Because the escape channel's dependency graph is
+    the deadlock-free dimension-order one (acyclic on the mesh and
+    hypercube) and every blocked message is eventually offered it, a
+    cycle of waits cannot involve only full buffers — Duato's condition.
+    On a torus the wraparound links make even dimension-order cyclic
+    within a ring, so escape-channel deadlock freedom holds for the mesh
+    and hypercube; the torus keeps the detector as its backstop (a
+    dateline channel is the known fix and is out of scope here).
+
+    A message may hop between adaptive and escape channels freely: the
+    candidates are recomputed at every router from the message's current
+    position, never from which channel it arrived on.
+    """
+
+    name = "escape-vc"
+    num_vcs = 2
+    adaptive_vc = 1
+
+    #: The escape channel: dimension-order, virtual channel 0.
+    escape_vc = 0
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        self._escape = DimensionOrder()
+
+    def candidates(
+        self,
+        topology: Topology,
+        node: int,
+        destination: int,
+        free_slots: FreeSlots,
+    ) -> Tuple[Port, ...]:
+        adaptive = self._adaptive_ports(topology, node, destination, free_slots)
+        escape = (self._escape.next_hop(topology, node, destination), self.escape_vc)
+        return adaptive + (escape,)

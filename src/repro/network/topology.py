@@ -1,62 +1,94 @@
-"""Interconnection topologies and deterministic routing.
+"""Interconnection topologies: structure only.
 
 The paper's machines (NCUBE, iPSC/2, CM-5, J-Machine relatives) span
 hypercubes, fat trees, and meshes; the architecture itself only assumes
 *some* network that delivers five-word messages and exerts backpressure.
-This module provides the three classic direct topologies with deterministic
-minimal routing so the fabric's behaviour is reproducible:
+A :class:`Topology` here describes **structure** — node count, links,
+neighbors, closed-form distance and diameter; *how* a message moves
+through that structure is a :class:`~repro.network.routing.RoutingPolicy`
+(dimension-order, minimal-adaptive, escape-channel), chosen per fabric.
 
-* :class:`Mesh2D` — k × m mesh, dimension-order (X then Y) routing;
-* :class:`Torus2D` — with wraparound links, still dimension-order;
-* :class:`Hypercube` — dimension-order on the lowest differing bit.
+Three classic direct topologies are provided:
+
+* :class:`Mesh2D` — k × m mesh, Manhattan distance;
+* :class:`Torus2D` — the mesh plus wraparound links, wrap-aware distance;
+* :class:`Hypercube` — 2^d nodes, Hamming distance.
+
+``next_hop`` / ``route`` remain as thin conveniences that delegate to
+the canonical :class:`~repro.network.routing.DimensionOrder` policy, so
+existing callers and tests read the same as before the routing layer
+became pluggable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.errors import RoutingError
 
 
 class Topology:
-    """Abstract topology: node count, links, and a deterministic next hop."""
+    """Abstract structure: node count, neighbors, distance, diameter."""
 
     n_nodes: int
+
+    def describe(self) -> str:
+        """Human-readable identity used in diagnostics, e.g. ``Mesh2D 8x8``."""
+        return type(self).__name__
 
     def neighbors(self, node: int) -> Tuple[int, ...]:
         """Nodes one link away from ``node``."""
         raise NotImplementedError
 
-    def next_hop(self, node: int, destination: int) -> int:
-        """The deterministic next node on the route to ``destination``."""
+    def distance(self, source: int, destination: int) -> int:
+        """Minimal hop count between two nodes, in closed form."""
+        raise NotImplementedError
+
+    def diameter(self) -> int:
+        """The largest minimal hop count between any node pair."""
         raise NotImplementedError
 
     def check_node(self, node: int) -> int:
         if node < 0 or node >= self.n_nodes:
             raise RoutingError(
-                f"node {node} outside topology of {self.n_nodes} nodes"
+                f"node {node} outside {self.describe()} of {self.n_nodes} nodes"
             )
         return node
 
-    def route(self, source: int, destination: int, max_hops: int = 10_000) -> List[int]:
-        """The full deterministic route, endpoints included."""
+    def next_hop(self, node: int, destination: int) -> int:
+        """The dimension-order next node (legacy convenience).
+
+        Pluggable policies live in :mod:`repro.network.routing`; this
+        delegates to the canonical deterministic one.
+        """
+        return _dimension_order().next_hop(self, node, destination)
+
+    def route(
+        self, source: int, destination: int, max_hops: Optional[int] = None
+    ) -> List[int]:
+        """The full dimension-order route, endpoints included.
+
+        ``max_hops`` defaults to the topology's diameter — dimension-order
+        routes are minimal, so a longer walk is a routing bug, reported
+        with the topology named rather than after 10,000 silent hops.
+        """
         self.check_node(source)
         self.check_node(destination)
+        if max_hops is None:
+            max_hops = self.diameter()
+        policy = _dimension_order()
         path = [source]
         current = source
         while current != destination:
-            current = self.next_hop(current, destination)
+            current = policy.next_hop(self, current, destination)
             path.append(current)
-            if len(path) > max_hops:
+            if len(path) - 1 > max_hops:
                 raise RoutingError(
-                    f"route {source}->{destination} exceeded {max_hops} hops"
+                    f"route {source}->{destination} exceeded {max_hops} hops "
+                    f"in {self.describe()}"
                 )
         return path
-
-    def distance(self, source: int, destination: int) -> int:
-        """Hop count of the deterministic route."""
-        return len(self.route(source, destination)) - 1
 
     def links(self) -> Iterable[Tuple[int, int]]:
         """All directed links as (from, to) pairs."""
@@ -65,11 +97,25 @@ class Topology:
                 yield node, neighbor
 
 
+def _dimension_order():
+    """The shared DimensionOrder policy (lazy: routing imports topology)."""
+    from repro.network.routing import DimensionOrder
+
+    global _DIMENSION_ORDER
+    if _DIMENSION_ORDER is None:
+        _DIMENSION_ORDER = DimensionOrder()
+    return _DIMENSION_ORDER
+
+
+_DIMENSION_ORDER = None
+
+
 @dataclass
 class Mesh2D(Topology):
-    """A width × height mesh with dimension-order (X-then-Y) routing.
+    """A width × height mesh.
 
-    Dimension-order routing is deadlock-free on a mesh, which keeps the
+    Distance is Manhattan; the canonical deterministic policy routes
+    X-then-Y, which is deadlock-free on a mesh — that keeps the
     flow-control experiments honest: any observed clogging comes from
     endpoint queues, not routing cycles.
     """
@@ -82,13 +128,18 @@ class Mesh2D(Topology):
             raise RoutingError("mesh dimensions must be at least 1x1")
         self.n_nodes = self.width * self.height
 
+    def describe(self) -> str:
+        return f"{type(self).__name__} {self.width}x{self.height}"
+
     def coordinates(self, node: int) -> Tuple[int, int]:
         self.check_node(node)
         return node % self.width, node // self.width
 
     def node_at(self, x: int, y: int) -> int:
         if not (0 <= x < self.width and 0 <= y < self.height):
-            raise RoutingError(f"({x}, {y}) outside {self.width}x{self.height} mesh")
+            raise RoutingError(
+                f"({x}, {y}) outside {self.width}x{self.height} mesh"
+            )
         return y * self.width + x
 
     def neighbors(self, node: int) -> Tuple[int, ...]:
@@ -104,18 +155,13 @@ class Mesh2D(Topology):
             result.append(self.node_at(x, y + 1))
         return tuple(result)
 
-    def next_hop(self, node: int, destination: int) -> int:
-        x, y = self.coordinates(node)
-        dx, dy = self.coordinates(self.check_node(destination))
-        if x < dx:
-            return self.node_at(x + 1, y)
-        if x > dx:
-            return self.node_at(x - 1, y)
-        if y < dy:
-            return self.node_at(x, y + 1)
-        if y > dy:
-            return self.node_at(x, y - 1)
-        raise RoutingError(f"next_hop called at the destination {node}")
+    def distance(self, source: int, destination: int) -> int:
+        x, y = self.coordinates(source)
+        dx, dy = self.coordinates(destination)
+        return abs(x - dx) + abs(y - dy)
+
+    def diameter(self) -> int:
+        return (self.width - 1) + (self.height - 1)
 
 
 @dataclass
@@ -135,30 +181,25 @@ class Torus2D(Mesh2D):
         )
 
     @staticmethod
-    def _step_toward(position: int, target: int, size: int) -> int:
-        forward = (target - position) % size
-        backward = (position - target) % size
-        if forward == 0:
-            return position
-        if forward <= backward:
-            return (position + 1) % size
-        return (position - 1) % size
+    def _axis_distance(a: int, b: int, size: int) -> int:
+        """Wrap-aware separation along one axis."""
+        span = abs(a - b)
+        return min(span, size - span)
 
-    def next_hop(self, node: int, destination: int) -> int:
-        x, y = self.coordinates(node)
-        dx, dy = self.coordinates(self.check_node(destination))
-        nx = self._step_toward(x, dx, self.width)
-        if nx != x:
-            return self.node_at(nx, y)
-        ny = self._step_toward(y, dy, self.height)
-        if ny != y:
-            return self.node_at(x, ny)
-        raise RoutingError(f"next_hop called at the destination {node}")
+    def distance(self, source: int, destination: int) -> int:
+        x, y = self.coordinates(source)
+        dx, dy = self.coordinates(destination)
+        return self._axis_distance(x, dx, self.width) + self._axis_distance(
+            y, dy, self.height
+        )
+
+    def diameter(self) -> int:
+        return self.width // 2 + self.height // 2
 
 
 @dataclass
 class Hypercube(Topology):
-    """A 2^d-node hypercube, routing on the lowest differing dimension."""
+    """A 2^d-node hypercube; distance is the Hamming distance."""
 
     dimensions: int
 
@@ -167,14 +208,52 @@ class Hypercube(Topology):
             raise RoutingError("hypercube dimensions must be in [0, 16]")
         self.n_nodes = 1 << self.dimensions
 
+    def describe(self) -> str:
+        return f"{type(self).__name__} d={self.dimensions}"
+
+    @classmethod
+    def from_nodes(cls, n_nodes: int) -> "Hypercube":
+        """The hypercube with exactly ``n_nodes`` nodes.
+
+        Rejects non-powers-of-two by name, so a sweep asking for a
+        65-node hypercube fails diagnosably instead of silently rounding.
+        """
+        if n_nodes < 1 or n_nodes & (n_nodes - 1):
+            raise RoutingError(
+                f"Hypercube needs a power-of-two node count, got {n_nodes}"
+            )
+        return cls(n_nodes.bit_length() - 1)
+
     def neighbors(self, node: int) -> Tuple[int, ...]:
         self.check_node(node)
         return tuple(node ^ (1 << bit) for bit in range(self.dimensions))
 
-    def next_hop(self, node: int, destination: int) -> int:
-        self.check_node(node)
-        diff = node ^ self.check_node(destination)
-        if diff == 0:
-            raise RoutingError(f"next_hop called at the destination {node}")
-        lowest = diff & -diff
-        return node ^ lowest
+    def distance(self, source: int, destination: int) -> int:
+        self.check_node(source)
+        self.check_node(destination)
+        return (source ^ destination).bit_count()
+
+    def diameter(self) -> int:
+        return self.dimensions
+
+
+def build_topology(kind: str, n_nodes: int) -> Topology:
+    """Build a topology of ``kind`` ("mesh" / "torus" / "hypercube") with
+    ``n_nodes`` nodes.
+
+    Mesh and torus are kept square (the sweep's 64 → 8×8, 256 → 16×16),
+    so a non-square count is rejected with the offending number named;
+    hypercubes reject non-powers-of-two the same way.
+    """
+    if kind in ("mesh", "torus"):
+        side = round(n_nodes**0.5)
+        if side * side != n_nodes or side < 1:
+            raise RoutingError(
+                f"{kind} sweep needs a square node count, got {n_nodes}"
+            )
+        return Mesh2D(side, side) if kind == "mesh" else Torus2D(side, side)
+    if kind == "hypercube":
+        return Hypercube.from_nodes(n_nodes)
+    raise RoutingError(
+        f"unknown topology kind {kind!r}; known: mesh, torus, hypercube"
+    )

@@ -1,0 +1,57 @@
+"""Golden regression: dimension-order routing is byte-identical.
+
+The routing layer became pluggable (``repro.network.routing``); this
+pins the refactor's central promise — the default :class:`DimensionOrder`
+policy reproduces the pre-refactor fabric bit for bit.  The golden
+payload below is the Section 2.1.1 hot-spot experiment's full output,
+captured on the last commit before the routing layer existed.  Every
+counter must match exactly: a one-cycle drift anywhere in the router's
+buffer keys, the credit snapshot, or the arbitration order shows up here.
+"""
+
+from repro.eval.flowcontrol import hotspot_params, run_hotspot
+from repro.exp.spec import EvalOptions
+from repro.obs.metrics import MetricsRecorder
+from repro.obs.tracer import Tracer
+
+#: run_hotspot(hotspot_params(EvalOptions())) on the pre-routing-layer
+#: tree, with observability attached and the trace summary dropped.
+GOLDEN_HOTSPOT = {
+    "blocked_moves": 18668,
+    "chain": {
+        "first_refused_delivery": 15,
+        "first_send_stall": 37,
+        "first_sender_oq_almost_full": 32,
+        "hot_iq_almost_full": 13,
+    },
+    "cycles": 2400,
+    "delivered": 300,
+    "deliveries_refused": 2024,
+    "ejected": 300,
+    "forwarded": 960,
+    "hot_iq": {
+        "peak_depth": 8,
+        "pops": 300,
+        "pushes": 300,
+        "rejected": 0,
+        "threshold_crossings": 1,
+    },
+    "injected": 300,
+    "mean_hops": 3.2,
+    "mean_latency": 345.437,
+    "offered": 300,
+    "peak_in_flight": 90,
+    "refused": 2024,
+    "send_stalls": 5154,
+    "sender_oq_crossings": 14,
+    "sender_oq_peak": 8,
+    "sends": 300,
+    "serviced": 300,
+}
+
+
+def test_hotspot_payload_matches_pre_refactor_golden():
+    params = hotspot_params(EvalOptions())
+    payload = run_hotspot(params, tracer=Tracer(), metrics=MetricsRecorder())
+    payload.pop("trace", None)
+    assert payload == GOLDEN_HOTSPOT

@@ -48,7 +48,7 @@ class TestRouter:
         router.accept_from(2, InTransit(msg(0), 0))
         order = router.pending_sources()
         assert order[-1] is None
-        assert 2 in order
+        assert (2, 0) in order
 
     def test_empty_take_rejected(self):
         with pytest.raises(NetworkError):

@@ -1,0 +1,168 @@
+"""Tests for the pluggable routing policies."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.network.routing import (
+    POLICY_NAMES,
+    AdaptiveRandom,
+    DimensionOrder,
+    EscapeVC,
+    make_policy,
+    minimal_neighbors,
+)
+from repro.network.topology import Hypercube, Mesh2D, Topology, Torus2D
+
+
+def plenty(neighbor: int, vc: int) -> int:
+    """A congestion view with uniform free space everywhere."""
+    return 4
+
+
+def all_pairs(topology):
+    for source in range(topology.n_nodes):
+        for destination in range(topology.n_nodes):
+            if source != destination:
+                yield source, destination
+
+
+class TestMakePolicy:
+    def test_names_map_to_classes(self):
+        assert isinstance(make_policy("dimension-order"), DimensionOrder)
+        assert isinstance(make_policy("adaptive-random"), AdaptiveRandom)
+        assert isinstance(make_policy("escape-vc"), EscapeVC)
+
+    def test_names_registry_matches(self):
+        assert tuple(make_policy(n).name for n in POLICY_NAMES) == POLICY_NAMES
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(RoutingError, match="unknown routing policy"):
+            make_policy("valiant")
+
+    def test_seed_reaches_adaptive_policies(self):
+        assert make_policy("adaptive-random", seed=9).seed == 9
+        assert make_policy("escape-vc", seed=9).seed == 9
+
+
+class TestMinimalNeighbors:
+    def test_strictly_closer_and_sorted(self):
+        mesh = Mesh2D(4, 4)
+        for source, destination in all_pairs(mesh):
+            minimal = minimal_neighbors(mesh, source, destination)
+            assert minimal == tuple(sorted(minimal))
+            here = mesh.distance(source, destination)
+            for neighbor in minimal:
+                assert mesh.distance(neighbor, destination) == here - 1
+
+    def test_two_productive_directions_off_axis(self):
+        mesh = Mesh2D(4, 4)
+        # From the corner toward the opposite corner both axes help.
+        assert minimal_neighbors(mesh, 0, 15) == (1, 4)
+
+    def test_empty_at_destination(self):
+        assert minimal_neighbors(Mesh2D(3, 3), 4, 4) == ()
+
+
+class TestDimensionOrder:
+    @pytest.mark.parametrize(
+        "topology",
+        [Mesh2D(4, 4), Torus2D(4, 4), Torus2D(5, 3), Hypercube(4)],
+        ids=lambda t: t.describe(),
+    )
+    def test_single_candidate_matches_legacy_next_hop(self, topology):
+        policy = DimensionOrder()
+        for source, destination in all_pairs(topology):
+            candidates = policy.candidates(topology, source, destination, plenty)
+            assert candidates == ((topology.next_hop(source, destination), 0),)
+
+    def test_mesh_routes_x_before_y(self):
+        mesh = Mesh2D(4, 4)
+        assert DimensionOrder().next_hop(mesh, 0, 10) == 1
+
+    def test_torus_ties_break_forward(self):
+        # Width 4: forward and backward are both 2 hops; legacy
+        # _step_toward goes +1.
+        torus = Torus2D(4, 1)
+        assert DimensionOrder().next_hop(torus, 0, 2) == 1
+
+    def test_hypercube_flips_lowest_bit(self):
+        cube = Hypercube(4)
+        assert DimensionOrder().next_hop(cube, 0b0000, 0b1010) == 0b0010
+
+    def test_at_destination_rejected(self):
+        with pytest.raises(RoutingError):
+            DimensionOrder().next_hop(Mesh2D(2, 2), 1, 1)
+
+    def test_unknown_topology_rejected(self):
+        class Ring(Topology):
+            n_nodes = 4
+
+        with pytest.raises(RoutingError, match="Ring"):
+            DimensionOrder().next_hop(Ring(), 0, 1)
+
+
+class TestAdaptiveRandom:
+    def test_candidates_are_all_minimal(self):
+        mesh = Mesh2D(4, 4)
+        policy = AdaptiveRandom(seed=1)
+        for source, destination in all_pairs(mesh):
+            candidates = policy.candidates(mesh, source, destination, plenty)
+            minimal = minimal_neighbors(mesh, source, destination)
+            assert sorted(n for n, _ in candidates) == sorted(minimal)
+            assert all(vc == 0 for _, vc in candidates)
+
+    def test_prefers_freer_downstream_buffer(self):
+        mesh = Mesh2D(4, 4)
+        policy = AdaptiveRandom(seed=1)
+        # From 0 to 15 both 1 and 4 are minimal; make 4 clearly freer.
+        free = {1: 0, 4: 3}
+        candidates = policy.candidates(
+            mesh, 0, 15, lambda n, vc: free.get(n, 4)
+        )
+        assert candidates == ((4, 0), (1, 0))
+
+    def test_same_seed_same_choices(self):
+        mesh = Mesh2D(4, 4)
+        a, b = AdaptiveRandom(seed=7), AdaptiveRandom(seed=7)
+        for source, destination in all_pairs(mesh):
+            assert a.candidates(mesh, source, destination, plenty) == (
+                b.candidates(mesh, source, destination, plenty)
+            )
+
+    def test_single_productive_neighbor_is_deterministic(self):
+        mesh = Mesh2D(4, 1)
+        policy = AdaptiveRandom(seed=3)
+        # A 1-D mesh never has a routing choice, so the RNG is never
+        # consulted and every query gives the one productive port.
+        state = policy._rng.getstate()
+        assert policy.candidates(mesh, 0, 3, plenty) == ((1, 0),)
+        assert policy._rng.getstate() == state
+
+    def test_no_productive_neighbor_rejected(self):
+        with pytest.raises(RoutingError, match="no productive neighbor"):
+            AdaptiveRandom().candidates(Mesh2D(2, 2), 1, 1, plenty)
+
+
+class TestEscapeVC:
+    def test_two_virtual_channels(self):
+        assert EscapeVC().num_vcs == 2
+
+    def test_escape_candidate_is_dimension_order_last(self):
+        mesh = Mesh2D(4, 4)
+        policy = EscapeVC(seed=5)
+        dim = DimensionOrder()
+        for source, destination in all_pairs(mesh):
+            candidates = policy.candidates(mesh, source, destination, plenty)
+            *adaptive, escape = candidates
+            assert escape == (dim.next_hop(mesh, source, destination), 0)
+            assert adaptive  # never only the escape path
+            assert all(vc == 1 for _, vc in adaptive)
+
+    def test_adaptive_candidates_match_adaptive_random(self):
+        mesh = Mesh2D(4, 4)
+        escape = EscapeVC(seed=11)
+        plain = AdaptiveRandom(seed=11)
+        for source, destination in all_pairs(mesh):
+            got = escape.candidates(mesh, source, destination, plenty)[:-1]
+            want = plain.candidates(mesh, source, destination, plenty)
+            assert tuple((n, 1) for n, _ in want) == got

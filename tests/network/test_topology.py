@@ -6,7 +6,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import RoutingError
-from repro.network.topology import Hypercube, Mesh2D, Torus2D
+from repro.network.topology import Hypercube, Mesh2D, Torus2D, build_topology
 
 
 def to_networkx(topology):
@@ -96,6 +96,40 @@ class TestTorus2D:
         torus = Torus2D(2, 2)
         assert torus.distance(0, 3) == 2
 
+    def test_degenerate_torus_deduplicates_links(self):
+        # On a 2-wide axis both wrap directions reach the same neighbor;
+        # the link set must not list it twice (or the node itself).
+        torus = Torus2D(2, 2)
+        assert set(torus.neighbors(0)) == {1, 2}
+
+    def test_equidistant_tie_steps_forward(self):
+        # Width 4, 0 -> 2: both directions are two hops; the legacy
+        # tie-break goes +1, never the wraparound.
+        torus = Torus2D(4, 1)
+        assert torus.next_hop(0, 2) == 1
+        assert torus.route(0, 2) == [0, 1, 2]
+
+    def test_just_past_halfway_wraps(self):
+        torus = Torus2D(5, 1)
+        # 0 -> 3 is two hops backward through the wraparound, three forward.
+        assert torus.distance(0, 3) == 2
+        assert torus.route(0, 3) == [0, 4, 3]
+
+    def test_single_row_torus_is_a_ring(self):
+        torus = Torus2D(8, 1)
+        assert set(torus.neighbors(0)) == {1, 7}
+        assert torus.route(0, 7) == [0, 7]
+        assert torus.diameter() == 4
+
+    def test_single_column_torus_is_a_ring(self):
+        torus = Torus2D(1, 8)
+        assert set(torus.neighbors(0)) == {1, 7}
+        assert torus.route(0, 5) == [0, 7, 6, 5]
+
+    def test_diameter_is_half_each_axis(self):
+        assert Torus2D(4, 4).diameter() == 4
+        assert Torus2D(5, 3).diameter() == 3
+
 
 class TestHypercube:
     def test_node_count(self):
@@ -125,3 +159,60 @@ class TestHypercube:
     def test_dimension_bounds(self):
         with pytest.raises(RoutingError):
             Hypercube(17)
+
+    def test_from_nodes_builds_matching_cube(self):
+        assert Hypercube.from_nodes(64).dimensions == 6
+        assert Hypercube.from_nodes(1).dimensions == 0
+
+    @pytest.mark.parametrize("n_nodes", [0, 3, 65, 100])
+    def test_from_nodes_rejects_non_powers_of_two(self, n_nodes):
+        with pytest.raises(RoutingError, match="power-of-two"):
+            Hypercube.from_nodes(n_nodes)
+
+
+class TestDiagnostics:
+    """Errors and diagnostics name the topology class and shape."""
+
+    def test_describe_names_class_and_shape(self):
+        assert Mesh2D(8, 8).describe() == "Mesh2D 8x8"
+        assert Torus2D(4, 2).describe() == "Torus2D 4x2"
+        assert Hypercube(6).describe() == "Hypercube d=6"
+
+    def test_check_node_names_the_topology(self):
+        with pytest.raises(
+            RoutingError, match=r"node 64 outside Mesh2D 8x8 of 64 nodes"
+        ):
+            Mesh2D(8, 8).check_node(64)
+        with pytest.raises(
+            RoutingError, match=r"node -1 outside Hypercube d=3 of 8 nodes"
+        ):
+            Hypercube(3).check_node(-1)
+
+    def test_route_bounded_by_diameter_by_default(self):
+        # Dimension-order routes are minimal, so the diameter bound is
+        # never hit on a healthy topology — even corner to corner.
+        mesh = Mesh2D(8, 8)
+        assert len(mesh.route(0, 63)) - 1 == mesh.diameter()
+
+    def test_route_reports_exceeded_hop_budget(self):
+        with pytest.raises(RoutingError, match=r"exceeded 2 hops in Mesh2D 4x4"):
+            Mesh2D(4, 4).route(0, 15, max_hops=2)
+
+    def test_diameters(self):
+        assert Mesh2D(8, 8).diameter() == 14
+        assert Hypercube(6).diameter() == 6
+
+
+class TestBuildTopology:
+    def test_square_counts_build(self):
+        assert build_topology("mesh", 64).describe() == "Mesh2D 8x8"
+        assert build_topology("torus", 256).describe() == "Torus2D 16x16"
+        assert build_topology("hypercube", 64).describe() == "Hypercube d=6"
+
+    def test_non_square_count_rejected(self):
+        with pytest.raises(RoutingError, match="square node count, got 60"):
+            build_topology("mesh", 60)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(RoutingError, match="unknown topology kind"):
+            build_topology("dragonfly", 64)
