@@ -1,0 +1,127 @@
+"""NIC-offloaded vs processor-driven collectives, recorded into the perfdb.
+
+Runs the collectives grid (:mod:`repro.eval.collectives`) — each cell a
+barrier/broadcast/reduce/allreduce executed once as NIC handler programs
+and once processor-driven — and appends one record per run to
+``results/perfdb``: per-cell processor-cycle counts and overlap land
+under distinct metric names (``coll_allreduce64_a2_overlap`` …) so
+``python -m repro.obs.report`` can trend them across commits, while the
+``nic_collectives_seconds`` / ``proc_collectives_seconds`` wall-clock
+metrics are what the CI regression gate judges (only ``*_seconds``
+metrics face the gate).
+
+Run standalone::
+
+    python benchmarks/bench_collectives.py [--smoke] [--paper-scale]
+        [--kinds K ...] [--op OP] [--perfdb DIR]
+
+``--smoke`` is CI's quick pass — the 16-node binary-tree grid under a
+separate ``collectives-smoke`` bench name so its timings never pollute
+the full-run trend history.
+"""
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.collectives import COLLECTIVES, OPS
+from repro.eval.collectives import (
+    collectives_metrics,
+    collectives_params,
+    compute_collectives,
+    render_collectives,
+)
+from repro.exp.spec import EvalOptions
+from repro.obs import perfdb
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_NAME = "collectives"
+
+
+def _timed_grid(params):
+    """Run the grid, splitting wall-clock between the two variants.
+
+    The eval runs both variants inside each cell, so the split is taken
+    from the cells' makespans: the variant timings the gate trends are
+    the whole grid's wall-clock apportioned by simulated effort, which
+    keeps one gated number per variant without running the grid twice.
+    """
+    start = time.perf_counter()
+    payload = compute_collectives(params)
+    elapsed = time.perf_counter() - start
+    nic_span = sum(cell["nic_makespan"] for cell in payload["cells"])
+    proc_span = sum(cell["proc_makespan"] for cell in payload["cells"])
+    total_span = nic_span + proc_span or 1
+    return payload, elapsed, (
+        elapsed * nic_span / total_span,
+        elapsed * proc_span / total_span,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "CI quick pass: the 16-node binary-tree grid, recorded under "
+            "a separate '-smoke' bench name"
+        ),
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="the full grid: 16/64/256 nodes, binary and flat trees",
+    )
+    parser.add_argument(
+        "--kinds",
+        nargs="*",
+        choices=COLLECTIVES,
+        default=None,
+        help="restrict the grid to these collectives",
+    )
+    parser.add_argument(
+        "--op",
+        choices=sorted(OPS),
+        default=None,
+        help="override the combine operation (default: sum)",
+    )
+    parser.add_argument(
+        "--perfdb",
+        type=Path,
+        default=REPO_ROOT / perfdb.DEFAULT_DB_DIR,
+        help="perf database directory (default: results/perfdb)",
+    )
+    args = parser.parse_args(argv)
+
+    params = collectives_params(EvalOptions(paper_scale=args.paper_scale))
+    if args.kinds:
+        params["kinds"] = list(args.kinds)
+    if args.op:
+        params["op"] = args.op
+
+    payload, elapsed, (nic_seconds, proc_seconds) = _timed_grid(params)
+    print(render_collectives(params, payload))
+    print()
+
+    metrics = collectives_metrics(payload)
+    metrics["nic_collectives_seconds"] = round(nic_seconds, 4)
+    metrics["proc_collectives_seconds"] = round(proc_seconds, 4)
+    record = perfdb.make_record(
+        bench=f"{BENCH_NAME}-smoke" if args.smoke else BENCH_NAME,
+        metrics=metrics,
+        meta={
+            "op": params["op"],
+            "kinds": list(params["kinds"]),
+            "node_counts": list(params["node_counts"]),
+            "arities": [str(a) for a in params["arities"]],
+        },
+    )
+    path = perfdb.append_record(args.perfdb, record)
+    print(f"ran {len(payload['cells'])} cells in {elapsed:.2f}s")
+    print(f"appended perfdb record to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

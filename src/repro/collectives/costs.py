@@ -1,0 +1,114 @@
+"""Post-hoc cycle pricing for collective runs.
+
+The simulation layer counts *events* (steps handled, messages sent,
+values combined); this module prices those events in processor cycles
+under each of the six Table 1 interface models, using the measured
+kernel costs from :mod:`repro.kernels.harness` — the same
+measure-then-multiply method the netsweep eval uses, applied to the
+collectives.
+
+One collective step is priced as a dispatch plus a one-data-word Send
+handler (``send1`` — a collective step message carries its value in one
+data word), and each message transmission as the ``send1`` SENDING
+kernel.  Both variants additionally charge the processor, per node, one
+entry (the local state update that enters the collective) and one
+completion observation (a dispatch-shaped poll):
+
+* processor-driven: the processor also executes every step and every
+  send, so ``proc_cycles = entry/exit + step work``;
+* NIC-offloaded: the step work runs at the interface, so it lands in
+  ``nic_cycles`` and ``proc_cycles`` is the entry/exit term alone —
+  strictly smaller whenever the collective moved any message.
+
+``overlap`` is the fraction of the total work the processor did *not*
+perform — the compute availability the offload buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict
+
+from repro.collectives.engine import CollectiveRun
+from repro.impls.base import InterfaceModel
+from repro.kernels.harness import (
+    measure_dispatch,
+    measure_processing,
+    measure_sending,
+)
+
+#: The kernel that prices one collective step: a Send carrying one data
+#: word, the shape of every UP/DOWN message.
+STEP_KERNEL = "send1"
+
+
+@dataclass(frozen=True)
+class StepCosts:
+    """Measured per-event cycle costs under one interface model."""
+
+    dispatch: int
+    processing: int
+    sending: int
+
+    @property
+    def handle(self) -> int:
+        """One handled step: dispatch into the handler plus its body."""
+        return self.dispatch + self.processing
+
+
+@lru_cache(maxsize=None)
+def _costs_for(model: InterfaceModel) -> StepCosts:
+    return StepCosts(
+        dispatch=measure_dispatch(model).cycles,
+        processing=measure_processing(STEP_KERNEL, model).cycles,
+        sending=measure_sending(STEP_KERNEL, model).cycles,
+    )
+
+
+@dataclass
+class PricedRun:
+    """One collective run priced under one interface model."""
+
+    model: str
+    variant: str
+    proc_cycles: int
+    nic_cycles: int
+    total_cycles: int
+    proc_cycles_per_node: float
+    overlap: float
+
+
+def price_run(run: CollectiveRun, model: InterfaceModel) -> PricedRun:
+    """Price a :class:`CollectiveRun`'s events under ``model``."""
+    costs = _costs_for(model)
+    n = run.n_nodes
+    # Per node: one entry (local state update, processing-shaped) and
+    # one completion observation (dispatch-shaped poll) — the only
+    # processor work the NIC-offloaded variant has.
+    entry_exit = n * (costs.processing + costs.dispatch)
+    step_work = (
+        run.events["handled"] * costs.handle
+        + run.events["sends"] * costs.sending
+    )
+    if run.variant == "nic":
+        proc_cycles = entry_exit
+        nic_cycles = step_work
+    else:
+        proc_cycles = entry_exit + step_work
+        nic_cycles = 0
+    total = entry_exit + step_work
+    return PricedRun(
+        model=model.key,
+        variant=run.variant,
+        proc_cycles=proc_cycles,
+        nic_cycles=nic_cycles,
+        total_cycles=total,
+        proc_cycles_per_node=round(proc_cycles / n, 3),
+        overlap=round(1.0 - proc_cycles / total, 4) if total else 0.0,
+    )
+
+
+def price_table(run: CollectiveRun, models) -> Dict[str, PricedRun]:
+    """Price one run under every model in ``models``, keyed by model key."""
+    return {model.key: price_run(run, model) for model in models}

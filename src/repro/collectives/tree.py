@@ -1,0 +1,89 @@
+"""Combining trees: the communication structure of the collectives.
+
+Every collective here — barrier, broadcast, reduce, allreduce — moves
+data along one k-ary tree over the machine's nodes.  The tree is defined
+over *ranks* rather than node ids so any node can be the root: rank 0 is
+the root and node ``n`` has rank ``(n - root) % n_nodes``, the standard
+rotation trick.  Within rank space the tree is the implicit-heap k-ary
+layout (parent of rank ``r`` is ``(r - 1) // arity``, children are
+``arity * r + 1 ..``), which keeps parent/children computable in O(1)
+with no per-node tables — exactly what a NIC handler with a few words of
+state wants.
+
+``arity = n_nodes - 1`` degenerates to the flat (star) tree: every leaf
+sends straight to the root.  The eval uses it as the no-combining
+baseline the combining tree is measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import CollectiveError
+
+
+class CombiningTree:
+    """A k-ary tree over the ranks of ``n_nodes`` nodes, rooted anywhere."""
+
+    def __init__(self, n_nodes: int, root: int = 0, arity: int = 2) -> None:
+        if n_nodes < 1:
+            raise CollectiveError(f"a tree needs at least one node, got {n_nodes}")
+        if not 0 <= root < n_nodes:
+            raise CollectiveError(f"root {root} is not a node of {n_nodes}")
+        if arity < 1:
+            raise CollectiveError(f"tree arity must be positive, got {arity}")
+        self.n_nodes = n_nodes
+        self.root = root
+        self.arity = arity
+
+    def rank(self, node: int) -> int:
+        """The tree rank of ``node`` (0 is the root)."""
+        self._check(node)
+        return (node - self.root) % self.n_nodes
+
+    def node_of(self, rank: int) -> int:
+        """The node holding tree rank ``rank``."""
+        if not 0 <= rank < self.n_nodes:
+            raise CollectiveError(f"rank {rank} out of range")
+        return (rank + self.root) % self.n_nodes
+
+    def parent(self, node: int) -> int | None:
+        """The node's tree parent, or None at the root."""
+        rank = self.rank(node)
+        if rank == 0:
+            return None
+        return self.node_of((rank - 1) // self.arity)
+
+    def children(self, node: int) -> Tuple[int, ...]:
+        """The node's tree children, ascending rank order."""
+        rank = self.rank(node)
+        first = self.arity * rank + 1
+        return tuple(
+            self.node_of(child)
+            for child in range(first, min(first + self.arity, self.n_nodes))
+        )
+
+    def fan_in(self, node: int) -> int:
+        """Messages a node must combine on the way up: children count."""
+        return len(self.children(node))
+
+    def depth(self) -> int:
+        """The longest root-to-leaf path length (0 for a single node)."""
+        depth = 0
+        rank = self.n_nodes - 1
+        while rank > 0:
+            rank = (rank - 1) // self.arity
+            depth += 1
+        return depth
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise CollectiveError(
+                f"node {node} is not a node of a {self.n_nodes}-node tree"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CombiningTree(n_nodes={self.n_nodes}, root={self.root}, "
+            f"arity={self.arity})"
+        )

@@ -28,6 +28,14 @@ class MessageFormatError(ReproError):
     """A message violates the five-word / 4-bit-type architecture format."""
 
 
+class ReservedTypeError(MessageFormatError):
+    """Software tried to SEND a type-1 (exception) message.
+
+    Section 2.2.2 reserves message type 1 for the hardware's exception
+    dispatch path; the send path must reject it rather than silently
+    dispatching the receiver to its exception slot."""
+
+
 class QueueOverflowError(ReproError):
     """A bounded message queue overflowed and CONTROL selected the exception policy."""
 
@@ -62,6 +70,11 @@ class FrameError(TamError):
 
 class DeadlockError(TamError):
     """TAM execution stopped with live work that can never be enabled."""
+
+
+class CollectiveError(ReproError):
+    """A collective operation was misconfigured or violated its protocol
+    (unknown operation, duplicate participation, fragment mismatch)."""
 
 
 class EvaluationError(ReproError):

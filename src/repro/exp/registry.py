@@ -30,6 +30,7 @@ EVAL_MODULES = (
     "survey",
     "flowcontrol",
     "netsweep",
+    "collectives",
 )
 
 _REGISTRY: Dict[str, "ExperimentSpec"] = {}

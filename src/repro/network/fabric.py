@@ -17,10 +17,14 @@ policy returns an ordered tuple of ``(next node, virtual channel)``
 candidates from the topology and the router's cycle-start congestion
 view, and the output arbitration takes the first candidate whose
 physical link is still free this cycle and whose downstream buffer has
-credit — falling back to the first free-link candidate (a blocked move)
-when none has credit.  The default :class:`DimensionOrder` policy emits
-exactly one candidate, which reduces the arbitration to the pre-policy
-behaviour byte for byte.
+credit.  A head with credit nowhere yields the physical link to any
+other head that can actually move over it this cycle (virtual channels
+must multiplex the link, or a blocked channel would starve an open one
+— the escape-channel guarantee depends on this) and is charged one
+blocked move on its preferred link only when no mover claimed it.  The
+default :class:`DimensionOrder` policy emits exactly one candidate,
+which reduces the arbitration to the pre-policy behaviour byte for
+byte.
 
 Service decisions *and credits* are snapshotted at the start of the
 cycle: a buffer slot freed by a move earlier in the same cycle is not
@@ -51,7 +55,7 @@ that the run timed out.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import NetworkError
@@ -87,6 +91,11 @@ class FabricStats:
     total_hops: int = 0
     total_latency: int = 0
     deliveries_refused: int = 0
+    #: Deliveries and hop totals partitioned by message type, so mixed
+    #: workloads (e.g. collective traffic riding alongside point-to-point)
+    #: can attribute fabric load per protocol.
+    delivered_by_type: Dict[int, int] = dataclass_field(default_factory=dict)
+    hops_by_type: Dict[int, int] = dataclass_field(default_factory=dict)
 
     @property
     def mean_hops(self) -> float:
@@ -201,6 +210,13 @@ class Fabric:
         eject_credit: Dict[int, bool] = {}
         for router in self.routers:
             outputs_used = set()
+            # Heads with no downstream credit anywhere must not claim the
+            # physical link during the scan: a virtual channel exists
+            # precisely so a blocked head cannot hold the link hostage
+            # (without this, a full escape channel could starve the open
+            # dateline channel behind it forever).  They are deferred and
+            # charge a blocked move only on links no mover claimed.
+            deferred: List[Tuple[SourceKey, int, int]] = []
             for source in router.pending_sources():
                 item = router.peek(source)
                 destination = item.message.destination
@@ -217,11 +233,18 @@ class Fabric:
                 if chosen is None:
                     continue
                 next_node, vc = chosen
-                outputs_used.add(("link", next_node))
                 key = (next_node, router.node, vc)
-                link_credit[key] = self.routers[next_node].can_accept_from(
-                    router.node, vc
-                )
+                if self.routers[next_node].can_accept_from(router.node, vc):
+                    outputs_used.add(("link", next_node))
+                    link_credit[key] = True
+                    moves.append((router, source, ("link", next_node, vc)))
+                else:
+                    deferred.append((source, next_node, vc))
+            for source, next_node, vc in deferred:
+                if ("link", next_node) in outputs_used:
+                    continue
+                outputs_used.add(("link", next_node))
+                link_credit[(next_node, router.node, vc)] = False
                 moves.append((router, source, ("link", next_node, vc)))
         for router, source, port in moves:
             kind, target, vc = port
@@ -243,6 +266,11 @@ class Fabric:
                     self.stats.delivered += 1
                     self.stats.total_hops += item.hops
                     self.stats.total_latency += self.stats.cycles - item.injected_at
+                    mtype = message.mtype
+                    by_type = self.stats.delivered_by_type
+                    by_type[mtype] = by_type.get(mtype, 0) + 1
+                    hops_by = self.stats.hops_by_type
+                    hops_by[mtype] = hops_by.get(mtype, 0) + item.hops
                     if tracer is not None:
                         tracer.emit(
                             self.stats.cycles,

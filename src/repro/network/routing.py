@@ -261,10 +261,18 @@ class EscapeVC(AdaptiveRandom):
     the deadlock-free dimension-order one (acyclic on the mesh and
     hypercube) and every blocked message is eventually offered it, a
     cycle of waits cannot involve only full buffers — Duato's condition.
-    On a torus the wraparound links make even dimension-order cyclic
-    within a ring, so escape-channel deadlock freedom holds for the mesh
-    and hypercube; the torus keeps the detector as its backstop (a
-    dateline channel is the known fix and is out of scope here).
+
+    On a torus the wraparound links make dimension-order cyclic within
+    each ring, so the escape path additionally applies Dally's
+    **dateline** discipline: the wraparound link of each directed ring
+    is its dateline, a leg that still has the dateline ahead of it rides
+    escape channel 0, and a leg past the dateline (or one that never
+    crosses it) rides the dateline channel (virtual channel 2).  The
+    dateline link itself is only ever requested on channel 0 and every
+    transition is 0 → 2, never back, so the escape dependency graph is
+    acyclic on the torus too — the policy is deadlock-free on all three
+    topologies.  ``dateline=False`` reinstates the single-escape-channel
+    behaviour (deadlockable on a torus) for the regression tests.
 
     A message may hop between adaptive and escape channels freely: the
     candidates are recomputed at every router from the message's current
@@ -272,15 +280,53 @@ class EscapeVC(AdaptiveRandom):
     """
 
     name = "escape-vc"
-    num_vcs = 2
+    num_vcs = 3
     adaptive_vc = 1
 
     #: The escape channel: dimension-order, virtual channel 0.
     escape_vc = 0
 
-    def __init__(self, seed: int = 0) -> None:
+    #: The post-dateline escape channel on torus wraparound rings.
+    dateline_vc = 2
+
+    def __init__(self, seed: int = 0, dateline: bool = True) -> None:
         super().__init__(seed=seed)
         self._escape = DimensionOrder()
+        self.dateline = dateline
+        if not dateline:
+            self.num_vcs = 2
+
+    @staticmethod
+    def _crosses_dateline(position: int, target: int, size: int) -> bool:
+        """Whether the remaining ring leg still traverses the wrap link.
+
+        Travel direction matches :meth:`DimensionOrder._step_toward`
+        (shortest way round, ties forward): moving forward the dateline
+        is the ``size-1 -> 0`` link, crossed iff ``target < position``;
+        moving backward it is ``0 -> size-1``, crossed iff
+        ``target > position``.
+        """
+        forward = (target - position) % size
+        backward = (position - target) % size
+        if forward <= backward:
+            return target < position
+        return target > position
+
+    def _escape_port(
+        self, topology: Topology, node: int, destination: int
+    ) -> Port:
+        """The dimension-order escape candidate with its dateline channel."""
+        hop = self._escape.next_hop(topology, node, destination)
+        if not self.dateline or not isinstance(topology, Torus2D):
+            return (hop, self.escape_vc)
+        x, y = topology.coordinates(node)
+        dx, dy = topology.coordinates(destination)
+        hx, hy = topology.coordinates(hop)
+        if hx != x:  # routing the X ring
+            crosses = self._crosses_dateline(x, dx, topology.width)
+        else:  # X done; routing the Y ring
+            crosses = self._crosses_dateline(y, dy, topology.height)
+        return (hop, self.escape_vc if crosses else self.dateline_vc)
 
     def candidates(
         self,
@@ -290,5 +336,4 @@ class EscapeVC(AdaptiveRandom):
         free_slots: FreeSlots,
     ) -> Tuple[Port, ...]:
         adaptive = self._adaptive_ports(topology, node, destination, free_slots)
-        escape = (self._escape.next_hop(topology, node, destination), self.escape_vc)
-        return adaptive + (escape,)
+        return adaptive + (self._escape_port(topology, node, destination),)

@@ -208,6 +208,28 @@ class TrafficSink(SimComponent):
         return {"retired": self.retired}
 
 
+def censored_ages(fabric: Fabric, now: int) -> list:
+    """Ages of every undelivered message still inside the machine at ``now``.
+
+    Two places hold them: router buffers (the fabric stamped
+    ``injected_at`` on entry) and interface output queues (not yet past
+    the serialization timer — their injection cycle is the low 16 bits
+    of word 1, stamped by :class:`TrafficSource`).  Each age is a *lower
+    bound* on the message's eventual latency, which is exactly what a
+    censored sample contributes.
+    """
+    ages = []
+    for router in fabric.routers:
+        for buffer in router.in_buffers.values():
+            for item in buffer:
+                ages.append(now - item.injected_at)
+    for ni in fabric.interfaces:
+        for message in ni.output_queue:
+            stamped = message.word(1) & 0xFFFF
+            ages.append(max(0, now - stamped))
+    return ages
+
+
 def run_traffic(
     topology: Topology,
     routing: RoutingPolicy,
@@ -242,7 +264,12 @@ def run_traffic(
       is saturated and backpressure reached the processors);
     * ``throughput`` — deliveries per node-cycle over the window;
     * ``mean_latency`` — injection-to-ejection cycles, averaged over the
-      window's deliveries.
+      window's deliveries;
+    * ``censored`` / ``censored_mean_age`` / ``mean_latency_lower_bound``
+      — messages still undelivered when the window closed, counted as
+      right-censored latency samples (each contributes its age so far).
+      Near saturation ``mean_latency`` alone silently drops exactly the
+      slowest traffic; the lower bound folds the censored mass back in.
     """
     fabric = Fabric(
         topology,
@@ -283,6 +310,13 @@ def run_traffic(
     delivered = fabric.stats.delivered - at_warmup[2]
     latency = fabric.stats.total_latency - at_warmup[3]
     hops = fabric.stats.total_hops - at_warmup[4]
+    # Messages still in flight when the window closes never reach the
+    # latency average — near saturation that silently discards exactly
+    # the slowest traffic and underreports latency.  Snapshot them here,
+    # before the drain (which delivers or strands them), as right-censored
+    # samples: each age is a lower bound on that message's latency.
+    censored = censored_ages(fabric, kernel.cycle)
+    censored_age_total = sum(censored)
     # Injection is over; let the fabric drain.  A stuck drain — e.g. an
     # adaptive policy deadlocking past saturation — is recorded in the
     # payload, cycle named, rather than raised: the sweep wants the
@@ -315,6 +349,17 @@ def run_traffic(
         "delivered": delivered,
         "throughput": round(delivered / node_cycles, 6),
         "mean_latency": round(latency / delivered, 3) if delivered else 0.0,
+        "censored": len(censored),
+        "censored_mean_age": (
+            round(censored_age_total / len(censored), 3) if censored else 0.0
+        ),
+        "mean_latency_lower_bound": (
+            round(
+                (latency + censored_age_total) / (delivered + len(censored)), 3
+            )
+            if delivered + len(censored)
+            else 0.0
+        ),
         "mean_hops": round(hops / delivered, 3) if delivered else 0.0,
         "total_delivered": fabric.stats.delivered,
         "total_retired": sink.retired,

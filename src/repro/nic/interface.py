@@ -31,13 +31,14 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from repro.errors import MessageFormatError, QueueOverflowError
+from repro.errors import MessageFormatError, QueueOverflowError, ReservedTypeError
 from repro.nic.control import ControlRegister, SendFullPolicy, StatusRegister
 from repro.nic.dispatch import DispatchConditions, DispatchUnit
 from repro.nic.messages import (
     MESSAGE_WORDS,
     TYPE_EXCEPTION,
     Message,
+    build_gather_messages,
 )
 from repro.nic.queues import DEFAULT_CAPACITY, MessageQueue
 from repro.obs.tracer import (
@@ -253,7 +254,10 @@ class NetworkInterface:
         substitution logic without touching queue state.
         """
         if mtype == TYPE_EXCEPTION:
-            raise MessageFormatError(
+            # §2.2.2: type 1 selects the receiver's exception dispatch slot
+            # (handler_table_address happily computes an address for it), so
+            # the send path is where the reservation must be enforced.
+            raise ReservedTypeError(
                 "message type 1 is reserved for exception dispatch (Section 2.2.4)"
             )
         substitution = {}
@@ -313,6 +317,36 @@ class NetworkInterface:
                 dest=message.destination, mtype=mtype, mode=mode.value,
             )
         return SendResult.SENT
+
+    def send_gather(
+        self,
+        mtype: int,
+        destination: int,
+        elements,
+        ip: Optional[int] = None,
+        m0_low: int = 0,
+    ) -> int:
+        """SEND a scatter/gather transfer as framed fragments.
+
+        ``elements`` are (offset, value) pairs, offsets need not be
+        contiguous; framing is :func:`repro.nic.messages.build_gather_messages`.
+        Each fragment goes through the ordinary output registers and the
+        ``SEND`` command, so queue policies apply per fragment.  Returns
+        the number of fragments queued; under the STALL policy a full
+        output queue stops the transfer at a fragment boundary (the
+        return value tells the caller where to resume), never mid-frame.
+        """
+        fragments = build_gather_messages(
+            mtype, destination, elements, ip=ip, m0_low=m0_low
+        )
+        sent = 0
+        for fragment in fragments:
+            for index, word in enumerate(fragment.words):
+                self.write_output(index, word)
+            if self.send(mtype) is not SendResult.SENT:
+                break
+            sent += 1
+        return sent
 
     def next(self) -> None:
         """The ``NEXT`` command: dispose of the current message and advance."""

@@ -1,0 +1,82 @@
+"""Tests for the combining-tree structure."""
+
+import pytest
+
+from repro.collectives.tree import CombiningTree
+from repro.errors import CollectiveError
+
+
+class TestShape:
+    def test_binary_tree_over_seven_ranks(self):
+        tree = CombiningTree(7, arity=2)
+        assert tree.parent(0) is None
+        assert tree.children(0) == (1, 2)
+        assert tree.children(1) == (3, 4)
+        assert tree.children(2) == (5, 6)
+        assert tree.children(3) == ()
+        assert tree.fan_in(0) == 2
+        assert tree.fan_in(3) == 0
+        assert tree.depth() == 2
+
+    def test_every_node_reaches_the_root(self):
+        tree = CombiningTree(256, arity=4)
+        for node in range(256):
+            hops = 0
+            position = node
+            while tree.parent(position) is not None:
+                position = tree.parent(position)
+                hops += 1
+                assert hops <= tree.depth()
+            assert position == tree.root
+
+    def test_children_and_parent_are_inverse(self):
+        tree = CombiningTree(64, arity=3)
+        for node in range(64):
+            for child in tree.children(node):
+                assert tree.parent(child) == node
+
+    def test_flat_tree_is_a_star(self):
+        tree = CombiningTree(16, arity=15)
+        assert tree.children(0) == tuple(range(1, 16))
+        assert all(tree.parent(n) == 0 for n in range(1, 16))
+        assert tree.depth() == 1
+
+    def test_single_node(self):
+        tree = CombiningTree(1)
+        assert tree.parent(0) is None
+        assert tree.children(0) == ()
+        assert tree.depth() == 0
+
+
+class TestRotation:
+    def test_rooting_rotates_ranks(self):
+        tree = CombiningTree(8, root=5)
+        assert tree.rank(5) == 0
+        assert tree.node_of(0) == 5
+        assert tree.parent(5) is None
+        # Rank space is the same implicit heap; nodes are rotated.
+        plain = CombiningTree(8)
+        for rank in range(8):
+            assert tree.node_of(rank) == (plain.node_of(rank) + 5) % 8
+
+    def test_rank_node_roundtrip(self):
+        tree = CombiningTree(13, root=7, arity=3)
+        for node in range(13):
+            assert tree.node_of(tree.rank(node)) == node
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(CollectiveError):
+            CombiningTree(0)
+        with pytest.raises(CollectiveError):
+            CombiningTree(4, root=4)
+        with pytest.raises(CollectiveError):
+            CombiningTree(4, arity=0)
+
+    def test_out_of_range_nodes_rejected(self):
+        tree = CombiningTree(4)
+        with pytest.raises(CollectiveError):
+            tree.rank(4)
+        with pytest.raises(CollectiveError):
+            tree.node_of(-1)

@@ -144,8 +144,11 @@ class TestAdaptiveRandom:
 
 
 class TestEscapeVC:
-    def test_two_virtual_channels(self):
-        assert EscapeVC().num_vcs == 2
+    def test_three_virtual_channels_with_datelines(self):
+        # Adaptive (1), escape (0), and the torus dateline channel (2);
+        # dateline=False reinstates the legacy two-channel policy.
+        assert EscapeVC().num_vcs == 3
+        assert EscapeVC(dateline=False).num_vcs == 2
 
     def test_escape_candidate_is_dimension_order_last(self):
         mesh = Mesh2D(4, 4)
@@ -166,3 +169,83 @@ class TestEscapeVC:
             got = escape.candidates(mesh, source, destination, plenty)[:-1]
             want = plain.candidates(mesh, source, destination, plenty)
             assert tuple((n, 1) for n, _ in want) == got
+
+
+class TestDateline:
+    """The escape channel's dateline discipline on torus wraparound rings."""
+
+    def ring_escape(self, policy, ring, source, destination):
+        *_, escape = policy.candidates(ring, source, destination, plenty)
+        return escape
+
+    def test_mesh_and_hypercube_never_use_the_dateline_channel(self):
+        policy = EscapeVC(seed=0)
+        for topology in (Mesh2D(4, 4), Hypercube(4)):
+            for source, destination in all_pairs(topology):
+                *_, escape = policy.candidates(
+                    topology, source, destination, plenty
+                )
+                assert escape[1] == policy.escape_vc
+
+    def test_pre_dateline_leg_rides_channel_zero(self):
+        # 0 -> 6 on an 8-ring goes backward through the 0 -> 7 wrap link:
+        # the dateline is still ahead, so the leg rides escape channel 0.
+        ring = Torus2D(8, 1)
+        policy = EscapeVC(seed=0)
+        assert self.ring_escape(policy, ring, 0, 6) == (7, policy.escape_vc)
+
+    def test_post_dateline_leg_rides_the_dateline_channel(self):
+        # 7 -> 6 continues the same journey after the wrap: no dateline
+        # remains ahead, so the leg switches to the dateline channel.
+        ring = Torus2D(8, 1)
+        policy = EscapeVC(seed=0)
+        assert self.ring_escape(policy, ring, 7, 6) == (6, policy.dateline_vc)
+
+    def test_non_crossing_leg_rides_the_dateline_channel(self):
+        # 1 -> 4 never touches the wrap link in either direction.
+        ring = Torus2D(8, 1)
+        policy = EscapeVC(seed=0)
+        assert self.ring_escape(policy, ring, 1, 4) == (2, policy.dateline_vc)
+
+    def test_wrap_link_only_ever_requested_on_channel_zero(self):
+        # The acyclicity argument: the dateline link itself must never be
+        # requested on the dateline channel, in either ring direction.
+        ring = Torus2D(8, 1)
+        policy = EscapeVC(seed=0)
+        for source, destination in all_pairs(ring):
+            hop, vc = self.ring_escape(policy, ring, source, destination)
+            if {source, hop} == {0, ring.width - 1}:
+                assert vc == policy.escape_vc
+
+    def test_dateline_false_matches_legacy_escape(self):
+        ring = Torus2D(8, 1)
+        legacy = EscapeVC(seed=0, dateline=False)
+        for source, destination in all_pairs(ring):
+            assert self.ring_escape(legacy, ring, source, destination)[1] == 0
+
+    def test_y_axis_has_its_own_dateline(self):
+        torus = Torus2D(4, 4)
+        policy = EscapeVC(seed=0)
+        # X resolved; 4 rows at x=0: (0,3) -> (0,2) continues past the
+        # Y wrap, (0,1) -> (0,2) never crosses it.
+        past = policy.candidates(
+            torus, torus.node_at(0, 3), torus.node_at(0, 2), plenty
+        )[-1]
+        assert past == (torus.node_at(0, 2), policy.dateline_vc)
+        before = policy.candidates(
+            torus, torus.node_at(0, 1), torus.node_at(0, 2), plenty
+        )[-1]
+        assert before == (torus.node_at(0, 2), policy.dateline_vc)
+        # (0,2) -> (0,1) backward is distance 1 with no wrap; but
+        # (0,0) -> (0,2): forward distance 2 ties backward 2, ties go
+        # forward, no wrap ahead -> dateline channel.
+        tie = policy.candidates(
+            torus, torus.node_at(0, 0), torus.node_at(0, 2), plenty
+        )[-1]
+        assert tie == (torus.node_at(0, 1), policy.dateline_vc)
+        # Forward through the wrap: (0,2) -> (0,0) ties 2-vs-2, ties go
+        # forward (2 -> 3 -> 0), so the 3 -> 0 dateline is ahead: channel 0.
+        crossing = policy.candidates(
+            torus, torus.node_at(0, 2), torus.node_at(0, 0), plenty
+        )[-1]
+        assert crossing == (torus.node_at(0, 3), policy.escape_vc)

@@ -11,6 +11,7 @@ from repro.network.traffic import (
     HOTSPOT_FRACTION,
     PATTERNS,
     TrafficSource,
+    censored_ages,
     pattern_destination,
     run_traffic,
     run_traffic_named,
@@ -111,6 +112,31 @@ class TestTrafficSource:
         assert source.offered == 0
 
 
+class TestCensoredAges:
+    def test_counts_router_buffers_and_output_queues(self):
+        from repro.network.fabric import Fabric
+        from repro.network.router import InTransit
+        from repro.nic.messages import Message, pack_destination
+
+        fabric = Fabric(Mesh2D(2, 2), serialization_cycles=1)
+        # One message inside a router (stamped at injection)...
+        fabric.routers[1].accept_from(
+            0, InTransit(Message(3, (pack_destination(3), 0, 0, 0, 0)),
+                         injected_at=5)
+        )
+        # ...and one still in an output queue (cycle stamp in word 1).
+        ni = fabric.interfaces[2]
+        ni.write_output(0, pack_destination(0))
+        ni.write_output(1, 7)
+        ni.send(3)
+        assert sorted(censored_ages(fabric, now=20)) == [13, 15]
+
+    def test_empty_fabric_has_no_censored_samples(self):
+        from repro.network.fabric import Fabric
+
+        assert censored_ages(Fabric(Mesh2D(2, 2)), now=10) == []
+
+
 class TestRunTraffic:
     RUN = dict(warmup_cycles=20, measure_cycles=80, drain_cycles=500)
 
@@ -167,6 +193,44 @@ class TestRunTraffic:
             for _ in range(2)
         ]
         assert runs[0] == runs[1]
+
+    def test_zero_rate_run_has_no_censored_samples(self):
+        payload = run_traffic(
+            Mesh2D(2, 2), DimensionOrder(), "uniform", 0.0, seed=0, **self.RUN
+        )
+        assert payload["censored"] == 0
+        assert payload["censored_mean_age"] == 0.0
+        assert payload["mean_latency_lower_bound"] == 0.0
+
+    def test_deadlocked_run_counts_stranded_messages_as_censored(self):
+        # The same post-saturation adaptive-random wedge as above: the
+        # messages stranded in the deadlocked buffers were previously
+        # silently dropped from the latency accounting; they must now
+        # appear as right-censored samples whose ages date back to the
+        # measurement window.
+        stuck = run_traffic_named(
+            "mesh", 64, AdaptiveRandom(seed=42), "uniform", 0.5,
+            warmup_cycles=50, measure_cycles=150, drain_cycles=300, seed=42,
+        )
+        assert not stuck["drained"]
+        assert stuck["censored"] > 0
+        assert stuck["censored_mean_age"] > 0
+        assert stuck["mean_latency_lower_bound"] > 0
+
+    def test_lower_bound_folds_censored_ages_into_the_mean(self):
+        payload = run_traffic(
+            Mesh2D(4, 4), DimensionOrder(), "uniform", 0.3, seed=7, **self.RUN
+        )
+        delivered = payload["delivered"]
+        censored = payload["censored"]
+        assert censored > 0  # 0.3 injection leaves traffic in flight
+        expected = (
+            delivered * payload["mean_latency"]
+            + censored * payload["censored_mean_age"]
+        ) / (delivered + censored)
+        assert payload["mean_latency_lower_bound"] == pytest.approx(
+            expected, abs=0.01
+        )
 
     def test_saturation_is_the_largest_throughput(self):
         curve = [{"throughput": 0.1}, {"throughput": 0.3}, {"throughput": 0.25}]

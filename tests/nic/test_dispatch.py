@@ -149,3 +149,77 @@ class TestDispatchUnit:
     def test_ip_base_truncated_to_word(self):
         unit = DispatchUnit(1 << 36)
         assert unit.ip_base == 0
+
+
+class TestDispatchUnitBoundaryVersions:
+    """Section 2.2.4's four handler versions, selected at the unit level."""
+
+    SLOTS = (
+        (False, False, 0),
+        (True, False, HANDLER_SLOT_BYTES),
+        (False, True, 2 * HANDLER_SLOT_BYTES),
+        (True, True, 3 * HANDLER_SLOT_BYTES),
+    )
+
+    def test_all_four_version_slots_selected(self):
+        # Every iafull x oafull combination lands in its own slot, at the
+        # architected offset from the unconditioned entry.
+        unit = DispatchUnit(IP_BASE)
+        base_ip = unit.msg_ip(msg(5), DispatchConditions())
+        for iafull, oafull, offset in self.SLOTS:
+            conditions = DispatchConditions(iafull=iafull, oafull=oafull)
+            ip = unit.msg_ip(msg(5), conditions)
+            assert decode_table_address(ip) == (5, iafull, oafull)
+            assert ip - base_ip == offset
+
+    def test_version_slots_never_collide(self):
+        unit = DispatchUnit(IP_BASE)
+        ips = {
+            unit.msg_ip(msg(5), DispatchConditions(iafull=ia, oafull=oa))
+            for ia, oa, _ in self.SLOTS
+        }
+        assert len(ips) == 4
+
+    @pytest.mark.parametrize(
+        "conditions",
+        [
+            DispatchConditions(iafull=True),
+            DispatchConditions(oafull=True),
+            DispatchConditions(exception=True),
+            DispatchConditions(iafull=True, oafull=True),
+            DispatchConditions(iafull=True, oafull=True, exception=True),
+        ],
+        ids=["iafull", "oafull", "exception", "both-full", "all"],
+    )
+    def test_case2_suppressed_under_any_boundary_condition(self, conditions):
+        # The type-0 fast path (MsgIp = word 1) must never fire when any
+        # boundary condition holds: the word-1 IP would skip the special
+        # handler version the condition selects.
+        unit = DispatchUnit(IP_BASE)
+        ip = unit.msg_ip(msg(0, word1=0x1234_5678), conditions)
+        assert ip != 0x1234_5678
+        expected = 0 if not conditions.exception else HANDLER_ID_EXCEPTION
+        assert decode_table_address(ip) == (
+            expected, conditions.iafull, conditions.oafull
+        )
+
+    def test_next_msg_ip_sees_the_same_versions(self):
+        unit = DispatchUnit(IP_BASE)
+        conditions = DispatchConditions(iafull=True, oafull=True)
+        assert unit.next_msg_ip(msg(7), conditions) == unit.msg_ip(
+            msg(7), conditions
+        )
+
+    @given(
+        mtype=st.integers(min_value=2, max_value=15),
+        iafull=st.booleans(),
+        oafull=st.booleans(),
+    )
+    def test_unit_dispatch_roundtrips_through_decode(self, mtype, iafull, oafull):
+        # decode_table_address recovers exactly what the unit encoded,
+        # whatever message type and condition pair produced the address.
+        unit = DispatchUnit(IP_BASE)
+        conditions = DispatchConditions(iafull=iafull, oafull=oafull)
+        ip = unit.msg_ip(msg(mtype), conditions)
+        assert decode_table_address(ip) == (mtype, iafull, oafull)
+        assert ip & ~(TABLE_BYTES - 1) == IP_BASE

@@ -48,6 +48,25 @@ class TestOutputRegistersAndSend:
         with pytest.raises(MessageFormatError):
             ni.send(1)
 
+    def test_send_type1_raises_the_named_reserved_error(self):
+        # §2.2.2: type 1 would dispatch the receiver to its *exception*
+        # slot (handler_table_address computes an address for it without
+        # complaint), so the send path must refuse it by name — and
+        # without touching the output queue.
+        from repro.errors import ReservedTypeError
+        from repro.nic.messages import TYPE_EXCEPTION
+
+        ni = make_ni()
+        with pytest.raises(ReservedTypeError, match="reserved for exception"):
+            ni.send(TYPE_EXCEPTION)
+        assert ni.output_queue.is_empty
+        assert ni.stats.sends == 0
+        # The rejection happens in every composition mode.
+        ni.deliver(request())
+        for mode in (SendMode.NORMAL, SendMode.REPLY, SendMode.FORWARD):
+            with pytest.raises(ReservedTypeError):
+                ni.send(TYPE_EXCEPTION, mode)
+
     def test_send_does_not_clear_output_registers(self):
         # Hardware keeps the composed values; software overwrites as needed.
         ni = make_ni()
@@ -265,3 +284,45 @@ class TestTransmit:
         ni.send(2)
         assert ni.peek_outgoing() is not None
         assert ni.output_queue.depth == 1
+
+
+class TestSendGather:
+    def test_fragments_travel_through_the_output_queue(self):
+        from repro.nic.messages import GatherAssembler
+
+        ni = NetworkInterface(node=0)
+        elements = [(i, 50 + i) for i in range(7)]
+        sent = ni.send_gather(2, destination=4, elements=elements)
+        assert sent == 3
+        assert ni.stats.sends == 3
+        assembler = GatherAssembler()
+        while True:
+            fragment = ni.transmit()
+            if fragment is None:
+                break
+            assert fragment.destination == 4
+            assembler.accept(fragment)
+        assert assembler.complete
+        assert assembler.result() == elements
+
+    def test_stall_stops_at_a_fragment_boundary(self):
+        ni = NetworkInterface(node=0, output_capacity=2)
+        elements = [(i, i) for i in range(9)]  # 3 typed fragments
+        sent = ni.send_gather(2, destination=1, elements=elements)
+        assert sent == 2  # third fragment stalled, never half-queued
+        assert ni.output_queue.depth == 2
+        assert ni.stats.send_stalls == 1
+        # Drain one slot and resume from where the return value points.
+        ni.transmit()
+        resumed = ni.send_gather(2, destination=1, elements=elements[6:])
+        assert resumed == 1
+
+    def test_type0_gather_carries_the_handler_ip(self):
+        ni = NetworkInterface(node=0)
+        sent = ni.send_gather(
+            0, destination=2, elements=[(0, 1), (1, 2)], ip=0x5020
+        )
+        assert sent == 1
+        fragment = ni.transmit()
+        assert fragment.mtype == 0
+        assert fragment.word(1) == 0x5020

@@ -161,3 +161,122 @@ class TestRegistry:
         values = [v for _, v in reg.registered()]
         assert TYPE_EXCEPTION not in values
         assert len(set(values)) == len(values)
+
+
+class TestScatterGatherFraming:
+    def _sg_imports(self):
+        from repro.nic.messages import (
+            GatherAssembler,
+            build_gather_messages,
+            pack_sg_header,
+            sg_capacity,
+            sg_header_word,
+            unpack_sg_header,
+        )
+
+        return (
+            GatherAssembler,
+            build_gather_messages,
+            pack_sg_header,
+            sg_capacity,
+            sg_header_word,
+            unpack_sg_header,
+        )
+
+    def test_header_roundtrip(self):
+        _, _, pack, _, _, unpack = self._sg_imports()
+        assert unpack(pack(0, 1, 1)) == (0, 1, 1)
+        assert unpack(pack(4095, 15, 65535)) == (4095, 15, 65535)
+        assert unpack(pack(7, 3, 12)) == (7, 3, 12)
+
+    def test_header_rejects_out_of_range_fields(self):
+        _, _, pack, _, _, _ = self._sg_imports()
+        for offset, count, total in (
+            (4096, 1, 1),
+            (-1, 1, 1),
+            (0, 0, 1),
+            (0, 16, 16),
+            (0, 1, 0),
+            (0, 1, 65536),
+        ):
+            with pytest.raises(MessageFormatError):
+                pack(offset, count, total)
+
+    def test_capacity_depends_on_type(self):
+        _, _, _, capacity, header_word, _ = self._sg_imports()
+        # Type-0 fragments carry the handler IP in word 1, so the header
+        # moves to word 2 and one fewer value fits.
+        assert header_word(TYPE_MSG_IP) == 2
+        assert capacity(TYPE_MSG_IP) == 2
+        assert header_word(2) == 1
+        assert capacity(2) == 3
+
+    def test_contiguous_run_coalesces_into_full_fragments(self):
+        _, build, _, _, _, unpack = self._sg_imports()
+        elements = [(i, 100 + i) for i in range(7)]
+        fragments = build(2, destination=3, elements=elements)
+        assert len(fragments) == 3  # 3 + 3 + 1 values
+        offsets = [unpack(f.word(1))[0] for f in fragments]
+        assert offsets == [0, 3, 6]
+        assert all(unpack(f.word(1))[2] == 7 for f in fragments)
+        assert fragments[0].words[2:4] == (100, 101)
+
+    def test_non_contiguous_offsets_split_fragments(self):
+        _, build, _, _, _, unpack = self._sg_imports()
+        elements = [(0, 1), (1, 2), (10, 3), (11, 4)]
+        fragments = build(2, destination=0, elements=elements)
+        assert [unpack(f.word(1))[:2] for f in fragments] == [(0, 2), (10, 2)]
+
+    def test_type0_requires_ip_and_typed_forbids_it(self):
+        _, build, _, _, _, _ = self._sg_imports()
+        with pytest.raises(MessageFormatError):
+            build(TYPE_MSG_IP, 0, [(0, 1)])
+        with pytest.raises(MessageFormatError):
+            build(2, 0, [(0, 1)], ip=0x4000)
+        with pytest.raises(MessageFormatError):
+            build(TYPE_EXCEPTION, 0, [(0, 1)])
+        with pytest.raises(MessageFormatError):
+            build(2, 0, [])
+
+    def test_type0_fragment_layout_keeps_ip_in_word_1(self):
+        _, build, _, _, _, unpack = self._sg_imports()
+        fragments = build(TYPE_MSG_IP, 5, [(2, 7), (3, 8)], ip=0x5020, m0_low=4)
+        assert len(fragments) == 1
+        fragment = fragments[0]
+        assert fragment.word(1) == 0x5020
+        assert unpack(fragment.word(2)) == (2, 2, 2)
+        assert fragment.words[3:] == (7, 8)
+        assert fragment.destination == 5
+        assert fragment.m0_low == 4
+
+    def test_assembler_rebuilds_out_of_order(self):
+        Assembler, build, _, _, _, _ = self._sg_imports()
+        elements = [(i, i * i) for i in range(8)]
+        fragments = build(2, 0, elements)
+        assembler = Assembler()
+        for fragment in reversed(fragments):
+            assembler.accept(fragment)
+        assert assembler.complete
+        assert assembler.result() == elements
+
+    def test_assembler_counts_duplicates_and_rejects_mismatched_totals(self):
+        Assembler, build, _, _, _, _ = self._sg_imports()
+        fragments = build(2, 0, [(i, i) for i in range(4)])
+        assembler = Assembler()
+        assembler.accept(fragments[0])
+        assembler.accept(fragments[0])
+        # Duplicate counting is per value, and the first fragment of a
+        # 4-element typed transfer carries 3 values.
+        assert assembler.duplicates == 3
+        other = build(2, 0, [(0, 9)])
+        with pytest.raises(MessageFormatError):
+            assembler.accept(other[0])
+
+    def test_incomplete_result_raises(self):
+        Assembler, build, _, _, _, _ = self._sg_imports()
+        fragments = build(2, 0, [(i, i) for i in range(6)])
+        assembler = Assembler()
+        assert not assembler.accept(fragments[0])
+        assert not assembler.complete
+        with pytest.raises(MessageFormatError):
+            assembler.result()
