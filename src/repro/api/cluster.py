@@ -22,6 +22,7 @@ from typing import List, Optional
 from repro.errors import NetworkError
 from repro.network.fabric import Fabric
 from repro.network.topology import Mesh2D, Topology
+from repro.nic.interface import NetworkInterface
 from repro.nic.messages import Message, pack_destination
 from repro.node.handlers import (
     build_pread_request,
@@ -109,10 +110,28 @@ class Cluster:
         metrics: Optional[MetricsRecorder] = None,
         profiler: Optional[SimProfiler] = None,
         kernel_fast_forward: bool = True,
+        input_capacity: Optional[int] = None,
+        output_capacity: Optional[int] = None,
     ) -> None:
         self.topology = topology or Mesh2D(2, 2)
+        # Queue depths default to the interface's own (None); explicit
+        # values size every node's queues, e.g. for tenancy studies that
+        # want shallow input queues so per-tenant caps actually bind.
+        nic_kwargs = {}
+        if input_capacity is not None:
+            nic_kwargs["input_capacity"] = input_capacity
+        if output_capacity is not None:
+            nic_kwargs["output_capacity"] = output_capacity
         self.nodes: List[Node] = [
-            Node(node_id) for node_id in range(self.topology.n_nodes)
+            Node(
+                node_id,
+                interface=(
+                    NetworkInterface(node=node_id, **nic_kwargs)
+                    if nic_kwargs
+                    else None
+                ),
+            )
+            for node_id in range(self.topology.n_nodes)
         ]
         self.fabric = Fabric(
             self.topology,
@@ -143,6 +162,23 @@ class Cluster:
     def node(self, node_id: int) -> Node:
         self.topology.check_node(node_id)
         return self.nodes[node_id]
+
+    @property
+    def kernel(self) -> SimKernel:
+        """The cluster's shared simulation kernel (read-only access)."""
+        return self._kernel
+
+    def add_component(self, component: SimComponent):
+        """Register an extra component on the cluster's kernel.
+
+        Components registered here tick *after* the fabric and the nodes
+        — a receive-side tenant scheduler
+        (:class:`~repro.tenancy.scheduler.TenantPolicy`) or a custom
+        traffic source slots into the same cycle loop the built-in
+        machinery uses.  Returns the component's
+        :class:`~repro.sim.kernel.SimHandle`.
+        """
+        return self._kernel.register(component)
 
     @property
     def n_nodes(self) -> int:

@@ -58,6 +58,11 @@ _LAZY_EXPORTS = {
     # Survey.
     "collect_survey": ("repro.eval.survey", "collect_survey"),
     "render_survey": ("repro.eval.survey", "render_survey"),
+    # Multi-tenant serving.
+    "compute_multitenant": ("repro.eval.multitenant", "compute_multitenant"),
+    "multitenant_metrics": ("repro.eval.multitenant", "multitenant_metrics"),
+    "multitenant_params": ("repro.eval.multitenant", "multitenant_params"),
+    "render_multitenant": ("repro.eval.multitenant", "render_multitenant"),
 }
 
 __all__ = [

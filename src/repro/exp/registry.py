@@ -31,6 +31,7 @@ EVAL_MODULES = (
     "flowcontrol",
     "netsweep",
     "collectives",
+    "multitenant",
 )
 
 _REGISTRY: Dict[str, "ExperimentSpec"] = {}

@@ -19,8 +19,14 @@ from repro.utils.bitfield import BitField, BitLayout, Register
 QUEUE_LEN_BITS = 5
 """Width of the queue-occupancy fields; supports depths up to 31."""
 
-PIN_BITS = 8
-"""Width of the process identification number used for protection."""
+PIN_BITS = 12
+"""Width of the process identification number used for protection.
+
+Originally 8; widened to 12 so the multi-tenant serving study
+(:mod:`repro.tenancy`) can name thousands of protection domains.  All
+software accesses CONTROL through field names (see the module docstring),
+so the layout shift is invisible outside this file.
+"""
 
 
 class SendFullPolicy(enum.IntEnum):
@@ -68,11 +74,11 @@ CONTROL_LAYOUT = BitLayout(
         BitField("full_policy", 10, 1),
         # Protection state (Section 2.1.3).
         BitField("active_pin", 11, PIN_BITS),
-        BitField("pin_check", 19, 1),
-        BitField("privileged_interrupt", 20, 1),
+        BitField("pin_check", 11 + PIN_BITS, 1),
+        BitField("privileged_interrupt", 12 + PIN_BITS, 1),
         # Section 2.1 leaves polled-versus-interrupt-driven open; this bit
         # selects an interrupt on message arrival instead of polling.
-        BitField("arrival_interrupt", 21, 1),
+        BitField("arrival_interrupt", 13 + PIN_BITS, 1),
     ],
 )
 

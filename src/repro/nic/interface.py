@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Protocol
 
 from repro.errors import MessageFormatError, QueueOverflowError, ReservedTypeError
 from repro.nic.control import ControlRegister, SendFullPolicy, StatusRegister
@@ -56,6 +56,30 @@ from repro.utils.bitfield import to_word
 
 def _zero_clock() -> int:
     return 0
+
+
+#: Divert reasons handed to an attached tenant scheduler.
+DIVERT_PRIVILEGED = "privileged"
+DIVERT_PIN = "pin"
+DIVERT_CAP = "cap"
+
+
+class TenantSchedulerLike(Protocol):
+    """What the interface requires of a receive-side scheduler.
+
+    The concrete policies live in :mod:`repro.tenancy`; this structural
+    protocol keeps the NIC layer free of that dependency.  The interface
+    calls :meth:`on_divert` for every delivery it diverts — privileged
+    traffic, PIN mismatches, and per-tenant occupancy-cap overflows —
+    and the scheduler owns redelivering stored messages later (through
+    the ordinary :meth:`NetworkInterface.deliver`).
+    """
+
+    def on_divert(
+        self, interface: "NetworkInterface", message: "Message", reason: str
+    ) -> None:
+        """Observe one diverted delivery (``reason`` is a DIVERT_* value)."""
+        ...  # pragma: no cover - protocol stub
 
 
 class SendMode(enum.Enum):
@@ -96,6 +120,7 @@ class InterfaceStats:
     refused: int = 0
     pin_diverted: int = 0
     privileged_diverted: int = 0
+    cap_diverted: int = 0
 
 
 class NetworkInterface:
@@ -141,6 +166,13 @@ class NetworkInterface:
         self.stats = InterfaceStats()
         self.privileged_store: List[Message] = []
         self._accept_hook = accept_hook
+        # The pluggable receive-side scheduler (Section 2.1.3 generalised):
+        # when attached it observes every diverted delivery with the
+        # divert reason and owns redelivery; see repro.tenancy.
+        self.tenant_scheduler: Optional["TenantSchedulerLike"] = None
+        # Per-tenant occupancy cap on the shared input queue; None means
+        # uncapped (the single-application architecture, byte-identical).
+        self.tenant_cap: Optional[int] = None
         self.interrupt_hook: Optional[Callable[[], None]] = None
         self.interrupts_raised = 0
         self.tracer: Optional[Tracer] = None
@@ -159,6 +191,36 @@ class NetworkInterface:
         self.tracer = tracer
         if clock is not None:
             self._clock = clock
+
+    def attach_tenant_scheduler(self, scheduler: "TenantSchedulerLike") -> None:
+        """Install the receive-side scheduler (Section 2.1.3, pluggable).
+
+        Every diverted delivery is handed to ``scheduler.on_divert`` with
+        its reason instead of the legacy accept hook / privileged store.
+        One scheduler per interface; attaching replaces any previous one.
+        """
+        self.tenant_scheduler = scheduler
+
+    def detach_tenant_scheduler(self) -> None:
+        self.tenant_scheduler = None
+
+    def set_tenant_cap(self, cap: Optional[int]) -> None:
+        """Cap any one tenant's occupancy of the shared input queue.
+
+        A delivery whose PIN already holds ``cap`` input-queue slots is
+        diverted to the scheduler (reason ``"cap"``) instead of consuming
+        another shared slot — the receive-side isolation knob of the
+        multi-tenant study.  Requires per-tenant accounting; attaching is
+        implicit.  ``None`` removes the cap (accounting stays attached).
+        """
+        if cap is not None:
+            if cap <= 0:
+                raise MessageFormatError(
+                    f"tenant cap must be positive, got {cap}"
+                )
+            if self.input_queue.tenant_stats is None:
+                self.input_queue.attach_tenant_stats()
+        self.tenant_cap = cap
 
     def enable_arrival_interrupts(self, hook: Callable[[], None]) -> None:
         """Switch from polled to interrupt-driven reception (Section 2.1).
@@ -369,11 +431,20 @@ class NetworkInterface:
         """Whether ``message`` would bypass the input queue (Section 2.1.3).
 
         Pure check with no side effects; the fabric uses it to exempt
-        privileged / PIN-mismatched traffic from input-queue credit.
+        privileged / PIN-mismatched / cap-overflow traffic from
+        input-queue credit.
         """
-        return message.privileged or (
-            self.control.pin_checking
-            and message.pin != self.control["active_pin"]
+        return (
+            message.privileged
+            or (
+                self.control.pin_checking
+                and message.pin != self.control["active_pin"]
+            )
+            or (
+                self.tenant_cap is not None
+                and self.input_queue.tenant_occupancy(message.pin)
+                >= self.tenant_cap
+            )
         )
 
     def refuse_delivery(self, message: Message) -> bool:
@@ -439,19 +510,33 @@ class NetworkInterface:
     # ------------------------------------------------------------------
 
     def _divert_if_protected(self, message: Message) -> bool:
-        """Handle privileged / mismatched-PIN messages; True when diverted."""
-        diverted = False
+        """Handle privileged / mismatched-PIN / over-cap messages; True
+        when diverted."""
+        reason = None
         if message.privileged:
             self.stats.privileged_diverted += 1
-            diverted = True
+            reason = DIVERT_PRIVILEGED
         elif self.control.pin_checking and message.pin != self.control["active_pin"]:
             # A message for an inactive process is treated as privileged
             # (Section 2.1.3).
             self.stats.pin_diverted += 1
             self.status.raise_exception("exc_pin_mismatch")
-            diverted = True
-        if diverted:
-            if self._accept_hook is not None:
+            reason = DIVERT_PIN
+        elif (
+            self.tenant_cap is not None
+            and self.input_queue.tenant_occupancy(message.pin) >= self.tenant_cap
+        ):
+            # The tenant already holds its share of the input queue; the
+            # scheduler gets the message for deferred redelivery rather
+            # than letting one flooder occupy the whole shared queue.
+            self.stats.cap_diverted += 1
+            if self.input_queue.tenant_stats is not None:
+                self.input_queue.tenant_stats.on_cap_rejection(message.pin)
+            reason = DIVERT_CAP
+        if reason is not None:
+            if self.tenant_scheduler is not None:
+                self.tenant_scheduler.on_divert(self, message, reason)
+            elif self._accept_hook is not None:
                 self._accept_hook(message)
             else:
                 self.privileged_store.append(message)
@@ -461,7 +546,7 @@ class NetworkInterface:
                     self._clock(), DIVERT, self.node,
                     privileged=message.privileged, pin=message.pin,
                 )
-        return diverted
+        return reason is not None
 
     def _advance(self) -> None:
         """Auto-load the input registers from the queue when they are empty."""

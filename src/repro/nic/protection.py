@@ -24,6 +24,28 @@ from repro.errors import ProtectionError
 from repro.nic.interface import NetworkInterface
 from repro.nic.messages import Message
 
+RESERVED_PIN = 0
+"""PIN 0 is the "no process" sentinel and never names a real tenant.
+
+:meth:`ProtectionDomain.deactivate` parks ``control["active_pin"]`` at 0,
+so a tenant created with PIN 0 would alias the deactivated state and its
+messages could leak past PIN checking.  Every tenant-creation path
+(domain activation, gang slices, the :mod:`repro.tenancy` workload)
+rejects it.
+"""
+
+
+def check_pin(pin: int) -> int:
+    """Validate a tenant PIN; PIN 0 is reserved (see :data:`RESERVED_PIN`)."""
+    if pin == RESERVED_PIN:
+        raise ProtectionError(
+            "PIN 0 is reserved as the no-process sentinel and cannot "
+            "name a tenant"
+        )
+    if pin < 0:
+        raise ProtectionError(f"PIN must be positive, got {pin}")
+    return pin
+
 
 @dataclass
 class PrivilegedStore:
@@ -45,6 +67,25 @@ class PrivilegedStore:
         else:
             self.by_pin.setdefault(message.pin, []).append(message)
 
+    def file_front(self, pin: int, messages: List[Message]) -> None:
+        """Park ``messages`` *ahead* of anything already stored for ``pin``.
+
+        Used when a context switch drains a tenant's still-queued input
+        back into the store: those messages arrived before anything the
+        store already holds, so they must redeliver first.
+        """
+        if not messages:
+            return
+        self.by_pin[pin] = list(messages) + self.by_pin.get(pin, [])
+
+    def pending_count(self, pin: int) -> int:
+        """How many messages wait for process ``pin`` (no copy)."""
+        return len(self.by_pin.get(pin, ()))
+
+    def total_pending(self) -> int:
+        """All stored user messages (OS-destined ones not included)."""
+        return sum(len(batch) for batch in self.by_pin.values())
+
     def pending_for(self, pin: int) -> List[Message]:
         """Messages waiting for process ``pin``."""
         return list(self.by_pin.get(pin, ()))
@@ -57,19 +98,25 @@ class PrivilegedStore:
 class ProtectionDomain:
     """Ties a :class:`NetworkInterface` to OS-level protection state.
 
-    The domain installs itself as the interface's accept hook, so every
+    The domain installs itself as the interface's tenant scheduler (the
+    smallest policy the pluggable receive-side protocol admits), so every
     privileged or PIN-mismatched delivery lands in the
     :class:`PrivilegedStore` (optionally raising a modelled interrupt),
     and offers the OS-side operations: activating a process and requeueing
-    its stored messages.
+    its stored messages.  The richer policies in :mod:`repro.tenancy`
+    implement the same :class:`~repro.nic.interface.TenantSchedulerLike`
+    protocol.
     """
 
     def __init__(self, interface: NetworkInterface) -> None:
         self.interface = interface
         self.store = PrivilegedStore()
-        interface._accept_hook = self._on_diverted
+        interface.attach_tenant_scheduler(self)
 
-    def _on_diverted(self, message: Message) -> None:
+    def on_divert(
+        self, interface: NetworkInterface, message: Message, reason: str
+    ) -> None:
+        """The TenantSchedulerLike entry point: file and maybe interrupt."""
         self.store.file(message)
         if self.interface.control["privileged_interrupt"]:
             self.store.interrupts_raised += 1
@@ -79,9 +126,10 @@ class ProtectionDomain:
 
         Enables PIN checking for the new process and redelivers any of its
         messages that arrived while it was switched out.  Returns the
-        number of messages redelivered.
+        number of messages redelivered.  PIN 0 is reserved
+        (:data:`RESERVED_PIN`) and rejected.
         """
-        self.interface.control.enable_pin_checking(pin)
+        self.interface.control.enable_pin_checking(check_pin(pin))
         stored = self.store.take_for(pin)
         redelivered = 0
         leftover: List[Message] = []
@@ -96,9 +144,13 @@ class ProtectionDomain:
         return redelivered
 
     def deactivate(self) -> None:
-        """Leave no process active (all user messages divert)."""
+        """Leave no process active (all user messages divert).
+
+        ``active_pin`` parks at :data:`RESERVED_PIN`; no real tenant may
+        hold PIN 0, so the sentinel can never match arriving traffic.
+        """
         self.interface.control.disable_pin_checking()
-        self.interface.control["active_pin"] = 0
+        self.interface.control["active_pin"] = RESERVED_PIN
 
     def os_take_all(self) -> List[Message]:
         """The OS consumes its privileged messages."""
@@ -125,27 +177,45 @@ class GangScheduler:
         self._saved: Dict[int, List[List[Message]]] = {}
 
     def start_slice(self, pin: int) -> None:
-        """Begin a time slice for process ``pin`` on every node."""
+        """Begin a time slice for process ``pin`` on every node.
+
+        Restored messages that no longer fit the input queue (its
+        threshold or capacity may have shrunk between slices) are refiled
+        into the process's saved state in order, exactly as
+        :meth:`ProtectionDomain.activate` keeps its remainder stored —
+        no message is lost and none reordered.
+        """
         if self.active_pin is not None:
             raise ProtectionError(
                 f"slice for pin {self.active_pin} is still running"
             )
+        check_pin(pin)
         self.active_pin = pin
         saved = self._saved.pop(pin, None)
         if saved is not None:
+            leftover: List[List[Message]] = []
             for interface, messages in zip(self.interfaces, saved):
-                for message in messages:
+                kept: List[Message] = []
+                for index, message in enumerate(messages):
                     if not interface.deliver(message):
-                        raise ProtectionError(
-                            "restored messages overflow the input queue"
-                        )
+                        # Keep the whole tail so arrival order survives
+                        # behind the undelivered head.
+                        kept = messages[index:]
+                        break
+                leftover.append(kept)
+            if any(leftover):
+                self._saved[pin] = leftover
 
     def end_slice(self) -> None:
         """End the running slice, draining all in-flight state."""
         if self.active_pin is None:
             raise ProtectionError("no slice is running")
+        # Messages refiled at start_slice (queue overflow) are still
+        # parked here; they requeue behind what the slice leaves, each
+        # batch keeping its own arrival order.
+        refiled = self._saved.pop(self.active_pin, None)
         saved: List[List[Message]] = []
-        for interface in self.interfaces:
+        for index, interface in enumerate(self.interfaces):
             drained: List[Message] = []
             # The message occupying the input registers is part of the
             # process's network state too.
@@ -153,10 +223,39 @@ class GangScheduler:
                 drained.append(interface.current_message)
                 interface._current = None
             drained.extend(interface.input_queue.drain())
+            if refiled is not None:
+                drained.extend(refiled[index])
             interface._refresh_status()
             saved.append(drained)
         self._saved[self.active_pin] = saved
         self.active_pin = None
+
+    def refill(self) -> int:
+        """Retry delivering the running slice's refiled messages.
+
+        :meth:`start_slice` refiles restored messages that overflow the
+        input queue; once the slice's processors drain some of the
+        backlog, a scheduler tick calls this to move the remainder into
+        the freed slots.  Returns the number of messages delivered.
+        """
+        if self.active_pin is None:
+            raise ProtectionError("no slice is running")
+        saved = self._saved.pop(self.active_pin, None)
+        if saved is None:
+            return 0
+        delivered = 0
+        leftover: List[List[Message]] = []
+        for interface, messages in zip(self.interfaces, saved):
+            kept: List[Message] = []
+            for index, message in enumerate(messages):
+                if not interface.deliver(message):
+                    kept = messages[index:]
+                    break
+                delivered += 1
+            leftover.append(kept)
+        if any(leftover):
+            self._saved[self.active_pin] = leftover
+        return delivered
 
     def saved_message_count(self, pin: int) -> int:
         """How many messages are parked for process ``pin``."""

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Iterator, List, Optional
+from typing import Deque, Dict, Iterator, List, Optional
 
 from repro.errors import QueueOverflowError, QueueUnderflowError
 from repro.nic.messages import Message
@@ -74,6 +74,66 @@ class QueueStats:
         }
 
 
+class TenantOccupancy:
+    """Per-tenant (PIN-keyed) occupancy accounting for one queue.
+
+    The multi-tenant serving study (Section 2.1.3 at scale) needs to know
+    *whose* messages fill a shared input queue, not just how deep it is:
+    occupancy caps, fairness metrics, and victim analysis all key on the
+    sending process's PIN.  An instance attaches to one
+    :class:`MessageQueue` via :meth:`MessageQueue.attach_tenant_stats`;
+    with none attached the queue's behaviour and cost are unchanged.
+
+    * ``depth`` — current queued messages per PIN.
+    * ``peak`` — maximum simultaneous occupancy ever observed per PIN.
+    * ``pushes`` — messages enqueued per PIN.
+    * ``cap_rejections`` — deliveries diverted because the PIN was at its
+      occupancy cap (counted by the interface, which owns the cap check).
+    """
+
+    __slots__ = ("depth", "peak", "pushes", "cap_rejections")
+
+    def __init__(self) -> None:
+        self.depth: Dict[int, int] = {}
+        self.peak: Dict[int, int] = {}
+        self.pushes: Dict[int, int] = {}
+        self.cap_rejections: Dict[int, int] = {}
+
+    def occupancy(self, pin: int) -> int:
+        """How many messages of process ``pin`` are queued right now."""
+        return self.depth.get(pin, 0)
+
+    def on_push(self, pin: int) -> None:
+        depth = self.depth.get(pin, 0) + 1
+        self.depth[pin] = depth
+        self.pushes[pin] = self.pushes.get(pin, 0) + 1
+        if depth > self.peak.get(pin, 0):
+            self.peak[pin] = depth
+
+    def on_pop(self, pin: int) -> None:
+        depth = self.depth.get(pin, 0) - 1
+        if depth > 0:
+            self.depth[pin] = depth
+        else:
+            self.depth.pop(pin, None)
+
+    def on_cap_rejection(self, pin: int) -> None:
+        self.cap_rejections[pin] = self.cap_rejections.get(pin, 0) + 1
+
+    def reset_depths(self) -> None:
+        """Forget current occupancy (queue cleared); history is kept."""
+        self.depth.clear()
+
+    def snapshot(self) -> dict:
+        """The accounting as plain dictionaries (for reports)."""
+        return {
+            "depth": dict(self.depth),
+            "peak": dict(self.peak),
+            "pushes": dict(self.pushes),
+            "cap_rejections": dict(self.cap_rejections),
+        }
+
+
 @dataclass
 class MessageQueue:
     """A bounded FIFO of :class:`Message` with an almost-full threshold.
@@ -90,6 +150,7 @@ class MessageQueue:
     threshold: Optional[int] = None
     _items: Deque[Message] = field(default_factory=deque, repr=False)
     stats: QueueStats = field(default_factory=QueueStats, repr=False)
+    tenant_stats: Optional[TenantOccupancy] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -97,6 +158,27 @@ class MessageQueue:
         if self.threshold is None:
             self.threshold = default_threshold(self.capacity)
         self.set_threshold(self.threshold)
+
+    def attach_tenant_stats(
+        self, tenant_stats: Optional[TenantOccupancy] = None
+    ) -> TenantOccupancy:
+        """Opt in to per-PIN occupancy accounting; returns the accountant.
+
+        Called once by workloads that multiplex tenants over this queue;
+        queues with no accountant attached pay only an identity check.
+        """
+        if tenant_stats is None:
+            tenant_stats = TenantOccupancy()
+        self.tenant_stats = tenant_stats
+        for message in self._items:
+            tenant_stats.on_push(message.pin)
+        return tenant_stats
+
+    def tenant_occupancy(self, pin: int) -> int:
+        """Queued messages of process ``pin`` (0 with no accounting attached)."""
+        if self.tenant_stats is None:
+            return 0
+        return self.tenant_stats.occupancy(pin)
 
     def set_threshold(self, threshold: int) -> None:
         """Set the almost-full threshold (clamped to [0, capacity])."""
@@ -149,6 +231,8 @@ class MessageQueue:
         self.stats.peak_depth = max(self.stats.peak_depth, len(self._items))
         if self.almost_full and not was_almost_full:
             self.stats.threshold_crossings += 1
+        if self.tenant_stats is not None:
+            self.tenant_stats.on_push(message.pin)
 
     def try_push(self, message: Message) -> bool:
         """Append ``message`` if space allows; return whether it was queued.
@@ -178,7 +262,10 @@ class MessageQueue:
         if not self._items:
             raise QueueUnderflowError(f"queue {self.name!r} is empty")
         self.stats.pops += 1
-        return self._items.popleft()
+        message = self._items.popleft()
+        if self.tenant_stats is not None:
+            self.tenant_stats.on_pop(message.pin)
+        return message
 
     def try_pop(self) -> Optional[Message]:
         """Remove and return the oldest message, or None when empty."""
@@ -195,8 +282,12 @@ class MessageQueue:
         drained = list(self._items)
         self.stats.pops += len(drained)
         self._items.clear()
+        if self.tenant_stats is not None:
+            self.tenant_stats.reset_depths()
         return drained
 
     def clear(self) -> None:
         """Discard all queued messages without counting them as pops."""
         self._items.clear()
+        if self.tenant_stats is not None:
+            self.tenant_stats.reset_depths()

@@ -15,7 +15,10 @@ reference defaulting to ``None`` and samples only when one is attached.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, List, NamedTuple, Optional
+
+from repro.utils.rng import SplitMix64
 
 
 class Histogram:
@@ -25,25 +28,72 @@ class Histogram:
     counting exact values is both cheaper and more faithful than binning.
     Float samples (e.g. link utilization) are quantised to three decimal
     places.
+
+    **Bounded-memory mode.**  The multi-tenant study keeps thousands of
+    per-tenant latency series alive at once; an exact value-count map per
+    tenant would retain every distinct sample.  Constructing with
+    ``reservoir=k`` caps memory at ``k`` retained values using Vitter's
+    Algorithm R over a seeded :class:`~repro.utils.rng.SplitMix64` (so
+    runs stay deterministic): count, min, max, and mean remain *exact*;
+    percentiles come from the uniform reservoir and are exact whenever
+    the sample count has not exceeded ``k``.
     """
 
-    __slots__ = ("counts", "total")
+    __slots__ = ("counts", "total", "reservoir_size",
+                 "_reservoir", "_rng", "_min", "_max", "_sum")
 
-    def __init__(self) -> None:
+    def __init__(
+        self, reservoir: Optional[int] = None, seed: int = 0
+    ) -> None:
+        if reservoir is not None and reservoir <= 0:
+            raise ValueError(
+                f"reservoir size must be positive, got {reservoir}"
+            )
         self.counts: Dict[float, int] = {}
         self.total = 0
+        self.reservoir_size = reservoir
+        self._reservoir: Optional[List[float]] = (
+            [] if reservoir is not None else None
+        )
+        self._rng = SplitMix64(seed) if reservoir is not None else None
+        self._min = math.inf
+        self._max = -math.inf
+        self._sum = 0.0
 
     def add(self, value: float) -> None:
         key = round(float(value), 3)
-        self.counts[key] = self.counts.get(key, 0) + 1
         self.total += 1
+        if self._reservoir is None:
+            self.counts[key] = self.counts.get(key, 0) + 1
+            return
+        # Bounded mode: exact moments, Algorithm R for the value sample.
+        if key < self._min:
+            self._min = key
+        if key > self._max:
+            self._max = key
+        self._sum += key
+        if len(self._reservoir) < self.reservoir_size:
+            self._reservoir.append(key)
+        else:
+            slot = self._rng.next_below(self.total)
+            if slot < self.reservoir_size:
+                self._reservoir[slot] = key
 
     def percentile(self, p: float) -> float:
-        """The smallest sample value covering fraction ``p`` of the mass."""
+        """The smallest sample value covering fraction ``p`` of the mass.
+
+        In bounded-memory mode the mass is the reservoir's: exact until
+        the sample count first exceeds the reservoir size, an unbiased
+        estimate after.
+        """
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"percentile {p} outside [0, 1]")
         if self.total == 0:
             return 0.0
+        if self._reservoir is not None:
+            held = sorted(self._reservoir)
+            index = max(0, math.ceil(p * len(held)) - 1)
+            return held[index]
         target = p * self.total
         seen = 0
         value = 0.0
@@ -57,6 +107,8 @@ class Histogram:
     def mean(self) -> float:
         if self.total == 0:
             return 0.0
+        if self._reservoir is not None:
+            return self._sum / self.total
         return sum(v * c for v, c in self.counts.items()) / self.total
 
     def summary(self) -> Dict[str, float]:
@@ -65,8 +117,8 @@ class Histogram:
                     "p50": 0.0, "p90": 0.0, "p99": 0.0}
         return {
             "count": self.total,
-            "min": min(self.counts),
-            "max": max(self.counts),
+            "min": self._min if self._reservoir is not None else min(self.counts),
+            "max": self._max if self._reservoir is not None else max(self.counts),
             "mean": round(self.mean, 4),
             "p50": self.percentile(0.50),
             "p90": self.percentile(0.90),

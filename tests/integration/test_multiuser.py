@@ -102,3 +102,62 @@ class TestPinBasedSwitching:
         sender_ni.control["active_pin"] = 5
         value = cluster.remote_read(source=0, target=1, address=0x50)
         assert value == 555
+
+
+class TestFlooderVictimContention:
+    """One tenant floods a node another tenant is resident on.
+
+    The tenant-granularity version of the Section 2.1.1 hot-spot: every
+    flood message diverts (PIN mismatch), raising the modelled interrupt
+    and filing into privileged state, while the resident victim's own
+    traffic keeps flowing; a context switch to the flooder then
+    redelivers the whole flood in arrival order.
+    """
+
+    FLOODER, VICTIM = 9, 5
+    FLOOD = 6
+
+    def flood(self, cluster):
+        flooder_ni = cluster.node(0).interface
+        flooder_ni.control["active_pin"] = self.FLOODER
+        for tag in range(self.FLOOD):
+            flooder_ni.write_output(0, pack_destination(3, 0x100 + 4 * tag))
+            flooder_ni.write_output(1, tag + 1)
+            flooder_ni.send(3)
+        cluster.fabric.run_until_quiescent()
+
+    def test_flood_diverts_and_interrupts_while_victim_served(self):
+        cluster = Cluster(Mesh2D(2, 2))
+        receiver = cluster.node(3)
+        domain = ProtectionDomain(receiver.interface)
+        receiver.interface.control["privileged_interrupt"] = 1
+        domain.activate(self.VICTIM)
+        self.flood(cluster)
+        receiver.service()
+        # Every flood message diverted and raised the OS interrupt;
+        # none touched the victim's memory.
+        assert len(domain.store.pending_for(self.FLOODER)) == self.FLOOD
+        assert domain.store.interrupts_raised == self.FLOOD
+        for tag in range(self.FLOOD):
+            assert receiver.memory.load(0x100 + 4 * tag) == 0
+        receiver.interface.status.clear_exceptions()
+        # The resident victim's own traffic still lands.
+        cluster.node(1).interface.control["active_pin"] = self.VICTIM
+        cluster.remote_write(source=1, target=3, address=0x40, value=77)
+        assert receiver.memory.load(0x40) == 77
+
+    def test_switch_to_flooder_redelivers_in_arrival_order(self):
+        cluster = Cluster(Mesh2D(2, 2))
+        receiver = cluster.node(3)
+        domain = ProtectionDomain(receiver.interface)
+        domain.activate(self.VICTIM)
+        self.flood(cluster)
+        stored = domain.store.pending_for(self.FLOODER)
+        assert [m.word(1) for m in stored] == list(range(1, self.FLOOD + 1))
+        receiver.interface.status.clear_exceptions()
+        redelivered = domain.activate(self.FLOODER)
+        assert redelivered == self.FLOOD
+        while receiver.interface.msg_valid:
+            receiver.service()
+        for tag in range(self.FLOOD):
+            assert receiver.memory.load(0x100 + 4 * tag) == tag + 1

@@ -5,7 +5,13 @@ import pytest
 from repro.errors import ProtectionError
 from repro.nic.interface import NetworkInterface
 from repro.nic.messages import Message
-from repro.nic.protection import GangScheduler, PrivilegedStore, ProtectionDomain
+from repro.nic.protection import (
+    RESERVED_PIN,
+    GangScheduler,
+    PrivilegedStore,
+    ProtectionDomain,
+    check_pin,
+)
 
 
 def msg(pin=0, privileged=False, tag=0) -> Message:
@@ -104,6 +110,39 @@ class TestProtectionDomain:
         assert domain.store.os_messages == []
 
 
+class TestReservedPin:
+    """PIN 0 is the no-process sentinel; no tenant may ever hold it."""
+
+    def test_check_pin_rejects_zero(self):
+        with pytest.raises(ProtectionError):
+            check_pin(RESERVED_PIN)
+
+    def test_check_pin_rejects_negative(self):
+        with pytest.raises(ProtectionError):
+            check_pin(-3)
+
+    def test_check_pin_passes_positive(self):
+        assert check_pin(1) == 1
+
+    def test_activate_rejects_sentinel(self):
+        domain = ProtectionDomain(NetworkInterface())
+        with pytest.raises(ProtectionError):
+            domain.activate(0)
+
+    def test_start_slice_rejects_sentinel(self):
+        sched = GangScheduler([NetworkInterface()])
+        with pytest.raises(ProtectionError):
+            sched.start_slice(0)
+
+    def test_deactivate_parks_at_sentinel(self):
+        ni = NetworkInterface()
+        domain = ProtectionDomain(ni)
+        domain.activate(4)
+        domain.deactivate()
+        assert ni.control["active_pin"] == RESERVED_PIN
+        assert not ni.control.pin_checking
+
+
 class TestGangScheduler:
     def test_needs_interfaces(self):
         with pytest.raises(ProtectionError):
@@ -159,3 +198,48 @@ class TestGangScheduler:
             seen.append(nis[0].read_input(1))
             nis[0].next()
         assert seen == tags
+
+    def test_start_slice_refiles_overflow_instead_of_raising(self):
+        # Saved state larger than the room left at restore time must be
+        # refiled in order, not raised on or dropped.
+        ni = NetworkInterface(input_capacity=2)
+        sched = GangScheduler([ni])
+        sched.start_slice(1)
+        for tag in range(3):  # input registers + the 2 queue slots
+            ni.deliver(msg(pin=1, tag=tag))
+        sched.end_slice()
+        assert sched.saved_message_count(1) == 3
+        # Fresh traffic occupies most of the interface before the
+        # process resumes, so only one saved message fits.
+        ni.deliver(msg(pin=1, tag=10))
+        ni.deliver(msg(pin=1, tag=11))
+        sched.start_slice(1)
+        assert sched.saved_message_count(1) == 2
+
+    def test_refill_delivers_refiled_tail_in_order(self):
+        ni = NetworkInterface(input_capacity=2)
+        sched = GangScheduler([ni])
+        sched.start_slice(1)
+        for tag in range(3):
+            ni.deliver(msg(pin=1, tag=tag))
+        sched.end_slice()
+        ni.deliver(msg(pin=1, tag=10))
+        ni.deliver(msg(pin=1, tag=11))
+        sched.start_slice(1)
+        seen = []
+        while sched.saved_message_count(1) or ni.msg_valid:
+            if ni.msg_valid:
+                seen.append(ni.read_input(1))
+                ni.next()
+            sched.refill()
+        assert seen == [10, 11, 0, 1, 2]
+
+    def test_refill_requires_running_slice(self):
+        sched = GangScheduler([NetworkInterface()])
+        with pytest.raises(ProtectionError):
+            sched.refill()
+
+    def test_refill_with_nothing_refiled_is_noop(self):
+        sched = GangScheduler([NetworkInterface()])
+        sched.start_slice(1)
+        assert sched.refill() == 0

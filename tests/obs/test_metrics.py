@@ -45,6 +45,54 @@ class TestHistogram:
         assert summary["p50"] == 2
 
 
+class TestHistogramReservoir:
+    """Bounded-memory mode: exact moments, Algorithm R percentiles."""
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(reservoir=0)
+
+    def test_exact_while_under_capacity(self):
+        exact = Histogram()
+        bounded = Histogram(reservoir=64, seed=7)
+        values = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]
+        for value in values:
+            exact.add(value)
+            bounded.add(value)
+        # Nothing has been evicted: every statistic matches the exact
+        # histogram, percentiles included.
+        assert bounded.summary() == exact.summary()
+        for p in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert bounded.percentile(p) == exact.percentile(p)
+
+    def test_moments_stay_exact_past_capacity(self):
+        bounded = Histogram(reservoir=16, seed=1)
+        for value in range(1, 1001):
+            bounded.add(value)
+        summary = bounded.summary()
+        assert summary["count"] == 1000
+        assert summary["min"] == 1
+        assert summary["max"] == 1000
+        assert summary["mean"] == 500.5
+        # The reservoir holds a bounded sample of in-range values.
+        assert len(bounded._reservoir) == 16
+        assert all(1 <= v <= 1000 for v in bounded._reservoir)
+        assert 1 <= bounded.percentile(0.5) <= 1000
+
+    def test_deterministic_per_seed(self):
+        def build(seed):
+            hist = Histogram(reservoir=8, seed=seed)
+            for value in range(200):
+                hist.add(value * 3 % 97)
+            return hist
+
+        assert build(5).summary() == build(5).summary()
+        assert sorted(build(5)._reservoir) != sorted(build(6)._reservoir)
+
+    def test_empty_summary(self):
+        assert Histogram(reservoir=4).summary()["count"] == 0
+
+
 class TestMetricsRecorder:
     def test_series_created_on_first_sample(self):
         metrics = MetricsRecorder()

@@ -1,0 +1,178 @@
+"""Tests for the heavy-tailed multi-tenant workload layer."""
+
+import json
+
+import pytest
+
+from repro.errors import ProtectionError
+from repro.tenancy.workload import (
+    MAX_BURST,
+    ROLE_FLOODER,
+    ROLE_NORMAL,
+    ROLE_VICTIM,
+    MultiTenantRun,
+    TenantSpec,
+    build_schedule,
+    make_tenants,
+)
+
+
+class TestMakeTenants:
+    def test_roles_and_pins(self):
+        tenants = make_tenants(64, 16, seed=7)
+        assert len(tenants) == 64
+        assert [spec.pin for spec in tenants] == list(range(1, 65))
+        assert tenants[0].role == ROLE_FLOODER
+        victims = [spec for spec in tenants if spec.role == ROLE_VICTIM]
+        assert len(victims) == 64 // 8
+        assert sum(spec.role == ROLE_NORMAL for spec in tenants) == 64 - 8 - 1
+
+    def test_flooder_targets_hot_node(self):
+        tenants = make_tenants(16, 8, seed=1, hot_node=3)
+        flooder = tenants[0]
+        assert flooder.distribution == "fixed"
+        assert flooder.dest_weights[3] == 1.0
+        assert sum(flooder.dest_weights) == 1.0
+        assert all(source != 3 for source in flooder.sources)
+
+    def test_victim_mix_concentrates_on_hot_node(self):
+        tenants = make_tenants(32, 8, seed=2, victim_hot_weight=0.8)
+        victim = next(s for s in tenants if s.role == ROLE_VICTIM)
+        assert victim.dest_weights[0] == 0.8
+        assert victim.dest_weights[victim.sources[0]] == 0.0
+
+    def test_no_flooder_option(self):
+        tenants = make_tenants(8, 4, seed=3, flooder=False)
+        assert all(spec.role != ROLE_FLOODER for spec in tenants)
+
+    def test_deterministic_per_seed(self):
+        assert make_tenants(24, 8, seed=9) == make_tenants(24, 8, seed=9)
+        assert make_tenants(24, 8, seed=9) != make_tenants(24, 8, seed=10)
+
+    def test_rejects_degenerate_populations(self):
+        with pytest.raises(ProtectionError):
+            make_tenants(0, 4, seed=1)
+        with pytest.raises(ProtectionError):
+            make_tenants(4, 1, seed=1)
+
+
+class TestBuildSchedule:
+    def test_deterministic_and_order_independent(self):
+        tenants = make_tenants(32, 8, seed=5)
+        first = build_schedule(tenants, 2000, seed=5)
+        again = build_schedule(tenants, 2000, seed=5)
+        reordered = build_schedule(list(reversed(tenants)), 2000, seed=5)
+        assert first == again == reordered
+        assert first != build_schedule(tenants, 2000, seed=6)
+
+    def test_arrivals_inside_window(self):
+        tenants = make_tenants(16, 4, seed=4)
+        schedule = build_schedule(tenants, 1000, seed=4)
+        assert schedule
+        assert all(1 <= a.cycle <= 1000 for a in schedule)
+        assert schedule == sorted(schedule, key=lambda a: (a.cycle, a.pin))
+
+    def test_sources_and_dests_drawn_from_spec(self):
+        tenants = make_tenants(16, 4, seed=4)
+        by_pin = {spec.pin: spec for spec in tenants}
+        for arrival in build_schedule(tenants, 1000, seed=4):
+            spec = by_pin[arrival.pin]
+            assert arrival.source in spec.sources
+            assert spec.dest_weights[arrival.dest] > 0
+
+    def test_gap_distributions(self):
+        for distribution in ("pareto", "lognormal", "fixed"):
+            spec = TenantSpec(
+                pin=1,
+                role=ROLE_NORMAL,
+                sources=(0,),
+                dest_weights=(0.0, 1.0),
+                distribution=distribution,
+                gap_mean=50.0,
+            )
+            schedule = build_schedule([spec], 5000, seed=11)
+            assert schedule, distribution
+            assert all(a.dest == 1 for a in schedule)
+
+    def test_unknown_distribution_rejected(self):
+        spec = TenantSpec(
+            pin=1,
+            role=ROLE_NORMAL,
+            sources=(0,),
+            dest_weights=(0.0, 1.0),
+            distribution="zipf",
+            gap_mean=5.0,
+        )
+        with pytest.raises(ProtectionError):
+            build_schedule([spec], 100, seed=1)
+
+    def test_bursts_clamped(self):
+        spec = TenantSpec(
+            pin=1,
+            role=ROLE_NORMAL,
+            sources=(0,),
+            dest_weights=(0.0, 1.0),
+            gap_mean=200.0,
+            burst_mean=16.0,
+            burst_spacing=1,
+        )
+        schedule = build_schedule([spec], 20000, seed=2)
+        # Count consecutive same-gap runs; no burst exceeds the clamp.
+        longest = run = 1
+        for prev, cur in zip(schedule, schedule[1:]):
+            run = run + 1 if cur.cycle - prev.cycle == 1 else 1
+            longest = max(longest, run)
+        assert longest <= MAX_BURST
+
+
+class TestMultiTenantRun:
+    def make_run(self, scheduler="round-robin", **kwargs):
+        kwargs.setdefault("width", 2)
+        kwargs.setdefault("height", 2)
+        kwargs.setdefault("gen_window", 600)
+        kwargs.setdefault("horizon", 1200)
+        n_nodes = kwargs["width"] * kwargs["height"]
+        tenants = make_tenants(12, n_nodes, seed=3, gap_mean=400.0)
+        return MultiTenantRun(scheduler, tenants, seed=3, **kwargs)
+
+    def test_accounting_closes(self):
+        run = self.make_run()
+        run.run()
+        payload = run.payload()
+        table = payload["tenant_table"]
+        assert payload["scheduled"] == sum(row["generated"] for row in table)
+        assert payload["dispatched"] == sum(row["dispatched"] for row in table)
+        for row in table:
+            # Censoring closes the books: every generated message either
+            # dispatched inside the horizon or aged out at it.
+            assert row["generated"] == row["dispatched"] + row["censored"]
+        assert 0.0 <= payload["completion"] <= 1.0
+
+    def test_repeat_runs_byte_identical(self):
+        first = self.make_run()
+        first.run()
+        second = self.make_run()
+        second.run()
+        assert json.dumps(first.tenant_table()) == json.dumps(
+            second.tenant_table()
+        )
+        assert first.payload() == second.payload()
+
+    def test_all_policies_run(self):
+        for name in ("gang", "round-robin", "quantum"):
+            run = self.make_run(scheduler=name)
+            cycles = run.run()
+            assert cycles >= 1
+            assert run.payload()["scheduler"] == name
+
+    def test_horizon_must_cover_window(self):
+        with pytest.raises(ProtectionError):
+            self.make_run(gen_window=600, horizon=500)
+
+    def test_latencies_are_generation_to_dispatch(self):
+        run = self.make_run(scheduler="gang")
+        run.run()
+        for row in run.tenant_table():
+            if row["dispatched"] or row["censored"]:
+                assert row["p99"] >= 0
+                assert row["p99"] <= run.horizon
