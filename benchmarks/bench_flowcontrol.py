@@ -9,11 +9,14 @@ Two questions, one harness:
   the trace the run produced.
 
 * **What does tracing cost?**  Times the same workload with the
-  observability layer detached, attached (tracer + metrics), and the TAM
-  matmul program with and without a tracer.  The untraced numbers are
-  the ones that must not regress: tracing is opt-in and the hot paths
-  pay only ``is None`` checks (fabric) or nothing at all (TAM, whose
-  handlers are swapped per-instance only when a tracer is given).
+  observability layer detached, attached (tracer + metrics), with the
+  lineage tracker attached, and the TAM matmul program with and without
+  a tracer.  The untraced numbers are the ones that must not regress:
+  tracing and lineage are opt-in and the hot paths pay only ``is None``
+  checks (fabric) or nothing at all (TAM, whose handlers are swapped
+  per-instance only when an observer is given).  The lineage run also
+  feeds its per-phase latency shares into the perfdb as trend context
+  (``lineage_share_<phase>``).
 
 Every run appends one record to the perf database
 (``results/perfdb/``, :mod:`repro.obs.perfdb`) so
@@ -40,6 +43,8 @@ from pathlib import Path
 from repro.eval.flowcontrol import hotspot_params, render_flowcontrol, run_hotspot
 from repro.exp.spec import EvalOptions
 from repro.obs import perfdb
+from repro.obs.breakdown import phase_breakdown
+from repro.obs.lineage import LineageTracker
 from repro.obs.metrics import MetricsRecorder
 from repro.obs.profiler import SimProfiler, render_profile
 from repro.obs.tracer import Tracer
@@ -80,6 +85,17 @@ def measure(repeats: int = 3) -> dict:
     )
     profiler = SimProfiler()
     profiled = _best_of(lambda: run_hotspot(params, profiler=profiler), 1)
+    lineage = LineageTracker(origin="bench-flowcontrol")
+
+    def run_lineage():
+        lineage.clear()
+        return run_hotspot(params, lineage=lineage)
+
+    lineaged = _best_of(run_lineage, repeats)
+    shares = {
+        phase: round(entry["share"], 4)
+        for phase, entry in phase_breakdown(lineage)["phases"].items()
+    }
     tam_plain = _best_of(
         lambda: run_matmul(n=MATMUL_N, nodes=NODES, verify=False), repeats
     )
@@ -94,7 +110,10 @@ def measure(repeats: int = 3) -> dict:
             "untraced_seconds": round(plain, 4),
             "traced_seconds": round(traced, 4),
             "profiled_seconds": round(profiled, 4),
+            "lineage_seconds": round(lineaged, 4),
             "overhead": round(traced / plain - 1.0, 4),
+            "lineage_overhead": round(lineaged / plain - 1.0, 4),
+            "lineage_phase_shares": shares,
         },
         "kernel": {
             "pre_kernel_seconds": PRE_KERNEL_HOTSPOT_SECONDS,
@@ -120,16 +139,21 @@ def perf_record(report: dict, smoke: bool) -> dict:
     Only the ``*_seconds`` metrics face the regression gate; the profile
     rides along as meta so the report can print cycle attribution.
     """
+    metrics = {
+        "hotspot_untraced_seconds": report["hotspot"]["untraced_seconds"],
+        "hotspot_traced_seconds": report["hotspot"]["traced_seconds"],
+        "hotspot_profiled_seconds": report["hotspot"]["profiled_seconds"],
+        "hotspot_lineage_seconds": report["hotspot"]["lineage_seconds"],
+        "matmul_untraced_seconds": report["matmul"]["untraced_seconds"],
+        "matmul_traced_seconds": report["matmul"]["traced_seconds"],
+        "trace_overhead": report["hotspot"]["overhead"],
+        "lineage_overhead": report["hotspot"]["lineage_overhead"],
+    }
+    for phase, share in report["hotspot"]["lineage_phase_shares"].items():
+        metrics[f"lineage_share_{phase}"] = share
     return perfdb.make_record(
         bench=f"{BENCH_NAME}-smoke" if smoke else BENCH_NAME,
-        metrics={
-            "hotspot_untraced_seconds": report["hotspot"]["untraced_seconds"],
-            "hotspot_traced_seconds": report["hotspot"]["traced_seconds"],
-            "hotspot_profiled_seconds": report["hotspot"]["profiled_seconds"],
-            "matmul_untraced_seconds": report["matmul"]["untraced_seconds"],
-            "matmul_traced_seconds": report["matmul"]["traced_seconds"],
-            "trace_overhead": report["hotspot"]["overhead"],
-        },
+        metrics=metrics,
         meta={
             "repeats": report["repeats"],
             "matmul_n": MATMUL_N,
@@ -174,6 +198,12 @@ def main(argv=None) -> int:
             f"traced {row['traced_seconds']:.3f}s  "
             f"overhead {row['overhead'] * 100:+.1f}%"
         )
+    hotspot = report["hotspot"]
+    print(
+        f"lineage  untraced {hotspot['untraced_seconds']:.3f}s  "
+        f"lineage {hotspot['lineage_seconds']:.3f}s  "
+        f"overhead {hotspot['lineage_overhead'] * 100:+.1f}%"
+    )
     kernel = report["kernel"]
     print(
         f"kernel   pre {kernel['pre_kernel_seconds']:.3f}s  "

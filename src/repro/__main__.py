@@ -19,6 +19,7 @@ Options::
     python -m repro --profile-sim     # in-run per-component cycle attribution
     python -m repro --trace           # record message-path traces
     python -m repro --trace-dir t/    # trace artifact directory (implies --trace)
+    python -m repro --lineage         # per-message spans + lineage.json breakdown
     python -m repro --perfdb          # append section timings to results/perfdb
 """
 
@@ -130,6 +131,15 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--lineage",
+        action="store_true",
+        help=(
+            "record per-message lineage spans in sections that support "
+            "them: exact latency breakdown, causal critical path, and a "
+            "versioned lineage.json under the trace directory"
+        ),
+    )
+    parser.add_argument(
         "--cache-dir",
         type=Path,
         default=None,
@@ -156,8 +166,9 @@ def main(argv=None) -> int:
     options = EvalOptions(
         paper_scale=args.paper_scale,
         trace=trace,
-        trace_dir=str(trace_dir) if trace else None,
+        trace_dir=str(trace_dir) if trace or args.lineage else None,
         profile_sim=args.profile_sim,
+        lineage=args.lineage,
     )
 
     def banner(title: str) -> None:

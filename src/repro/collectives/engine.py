@@ -70,12 +70,20 @@ class _EngineContext(HandlerContext):
         kind: str,
         op: str,
         pending: Deque[Message],
+        engine: "NicHandlerEngine",
     ) -> None:
         super().__init__(node, tree, kind, op)
         self._pending = pending
+        self._engine = engine
 
     def emit(self, message: Message) -> None:
         self._pending.append(message)
+        lineage = self._engine.lineage
+        if lineage is not None:
+            # The NI recomposes this message at flush time, so note the
+            # causal parents now, keyed on the pending object, and bind
+            # them to the real send record in _flush_sends.
+            lineage.collective_emit(self.node, message)
 
 
 @dataclass
@@ -146,12 +154,18 @@ class NicHandlerEngine(SimComponent):
         self._pending: List[Deque[Message]] = [
             deque() for _ in range(tree.n_nodes)
         ]
+        self.lineage = None
         self.contexts: List[_EngineContext] = [
-            _EngineContext(node, tree, kind, op, self._pending[node])
+            _EngineContext(node, tree, kind, op, self._pending[node], self)
             for node in range(tree.n_nodes)
         ]
         for interface in fabric.interfaces:
             interface.ip_base = ip_base
+
+    def attach_lineage(self, lineage) -> None:
+        """Opt in to causal lineage: consumed messages become parents of
+        the emissions they trigger (combining-tree fan-in/fan-out)."""
+        self.lineage = lineage
 
     # ------------------------------------------------------------------
     # Processor-side surface: initiation and completion.
@@ -200,6 +214,8 @@ class NicHandlerEngine(SimComponent):
             if interface.send(message.mtype) is not SendResult.SENT:
                 return  # oafull: retry next cycle, order preserved
             pending.popleft()
+            if self.lineage is not None:
+                self.lineage.bind_deferred(message)
 
     def _service(self, node: int, interface: NetworkInterface) -> None:
         ctx = self.contexts[node]
@@ -215,7 +231,12 @@ class NicHandlerEngine(SimComponent):
                 )
             message = interface.current_message
             ctx.state.events["handled"] += 1
+            lineage = self.lineage
+            if lineage is not None:
+                lineage.begin_collective_handler(node, message)
             program(ctx, message)
+            if lineage is not None:
+                lineage.end_collective_handler(node)
             interface.next()
             if self.step_cycles:
                 self._busy[node] = self.step_cycles - 1
@@ -292,6 +313,7 @@ def run_nic_collective(
     iq_threshold: Optional[int] = None,
     step_cycles: int = 0,
     max_cycles: int = 200_000,
+    lineage=None,
 ) -> CollectiveRun:
     """Run one collective entirely NIC-side and return its record.
 
@@ -318,9 +340,12 @@ def run_nic_collective(
         interfaces,
         link_buffer_depth=link_buffer_depth,
         serialization_cycles=serialization_cycles,
+        lineage=lineage,
     )
     tree = CombiningTree(n, root=root, arity=arity)
     engine = NicHandlerEngine(fabric, tree, kind, op, step_cycles=step_cycles)
+    if lineage is not None:
+        engine.attach_lineage(lineage)
     kernel = SimKernel()
     kernel.register(_FabricComponent(fabric))
     kernel.register(engine)

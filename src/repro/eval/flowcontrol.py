@@ -46,7 +46,9 @@ from repro.obs.tracer import (
     SEND_STALL,
     Tracer,
 )
+from repro.obs.breakdown import lineage_report, write_lineage
 from repro.obs.chrome import write_chrome_trace
+from repro.obs.lineage import LineageTracker
 from repro.sim import SimComponent, SimKernel
 from repro.utils.tables import render_table
 
@@ -173,8 +175,11 @@ def hotspot_params(options: EvalOptions) -> Dict:
         "queue_threshold": 6,
         "link_buffer_depth": 2,
         "serialization_cycles": 2,
-        "trace_dir": options.trace_dir if options.trace else None,
+        "trace_dir": (
+            options.trace_dir if (options.trace or options.lineage) else None
+        ),
         "profile_sim": options.profile_sim,
+        "lineage": options.lineage,
     }
 
 
@@ -183,6 +188,7 @@ def run_hotspot(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRecorder] = None,
     profiler: Optional[SimProfiler] = None,
+    lineage=None,
 ) -> Dict:
     """Run the hot-spot workload; returns a plain (picklable) payload.
 
@@ -224,6 +230,7 @@ def run_hotspot(
         serialization_cycles=params["serialization_cycles"],
         tracer=tracer,
         metrics=metrics,
+        lineage=lineage,
     )
 
     # Kernel service order mirrors the workload's intra-cycle order:
@@ -335,21 +342,41 @@ def compute_flowcontrol(params: Dict) -> Dict:
     profiler = (
         SimProfiler(sample_interval=64) if params.get("profile_sim") else None
     )
-    payload = run_hotspot(params, tracer=tracer, metrics=metrics, profiler=profiler)
+    lineage = LineageTracker(origin="flowcontrol") if params.get("lineage") else None
+    payload = run_hotspot(
+        params, tracer=tracer, metrics=metrics, profiler=profiler, lineage=lineage
+    )
     if profiler is not None:
         metrics.feed_profiler(profiler)
         payload["profile"] = profiler.to_dict()
+    if lineage is not None:
+        # Strict by construction: the hot-spot run retires every message,
+        # so a gap or overlap anywhere in the span store is a real bug.
+        report = lineage_report(lineage, strict=True)
+        payload["lineage"] = {
+            "reconciliation": report["reconciliation"],
+            "breakdown": report["breakdown"],
+            "critical_path": {
+                key: report["critical_path"][key]
+                for key in ("length", "max_chain", "duration", "phases")
+            },
+        }
     trace_dir = params.get("trace_dir")
     if trace_dir:
         directory = Path(trace_dir)
         directory.mkdir(parents=True, exist_ok=True)
         trace_path = directory / "flowcontrol_trace.json"
-        write_chrome_trace(trace_path, tracer, metrics, profiler)
+        write_chrome_trace(trace_path, tracer, metrics, profiler, lineage=lineage)
         metrics_path = directory / "flowcontrol_metrics.json"
         metrics_path.write_text(
             json.dumps(metrics.to_dict(), indent=2) + "\n"
         )
-        payload["trace_files"] = [str(trace_path), str(metrics_path)]
+        trace_files = [str(trace_path), str(metrics_path)]
+        if lineage is not None:
+            lineage_path = directory / "lineage.json"
+            write_lineage(str(lineage_path), lineage)
+            trace_files.append(str(lineage_path))
+        payload["trace_files"] = trace_files
     return payload
 
 
@@ -425,6 +452,33 @@ def render_flowcontrol(params: Dict, payload: Dict) -> str:
         ],
     )
     lines = [timeline, "", totals]
+    lineage = payload.get("lineage")
+    if lineage:
+        breakdown = lineage["breakdown"]
+        lines.extend(
+            [
+                "",
+                render_table(
+                    ["phase", "total cycles", "share", "p50", "p99"],
+                    [
+                        [
+                            phase,
+                            stats["total"],
+                            f"{stats['share']:.1%}",
+                            stats["p50"],
+                            stats["p99"],
+                        ]
+                        for phase, stats in breakdown["phases"].items()
+                    ],
+                    title=(
+                        f"Per-message latency breakdown "
+                        f"({breakdown['messages']} messages, exact "
+                        f"reconciliation over {breakdown['traced_cycles']} "
+                        f"message-cycles)"
+                    ),
+                ),
+            ]
+        )
     profile = payload.get("profile")
     if profile:
         lines.extend(["", render_profile(profile)])

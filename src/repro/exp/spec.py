@@ -33,12 +33,18 @@ class EvalOptions:
     profiling (:mod:`repro.obs.profiler`): per-component cycle/time
     attribution inside the run, reported next to the section text.  This
     is distinct from the driver's ``--profile`` host-level span timing.
+
+    ``lineage`` opts sections that support it into span-based causal
+    lineage tracing (:mod:`repro.obs.lineage`): per-message phase spans,
+    the exact-reconciliation latency breakdown, and the causal critical
+    path, written as a versioned ``lineage.json`` under ``trace_dir``.
     """
 
     paper_scale: bool = False
     trace: bool = False
     trace_dir: Optional[str] = None
     profile_sim: bool = False
+    lineage: bool = False
 
 
 @dataclass(frozen=True)

@@ -118,6 +118,7 @@ class Fabric:
         routing: Optional[RoutingPolicy] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRecorder] = None,
+        lineage=None,
     ) -> None:
         self.topology = topology
         self.routing = routing if routing is not None else DimensionOrder()
@@ -152,6 +153,25 @@ class Fabric:
                 router.attach_tracer(tracer, clock)
             for interface in self.interfaces:
                 interface.attach_tracer(tracer, clock)
+        self.lineage = None
+        if lineage is not None:
+            self.attach_lineage(lineage)
+
+    def attach_lineage(self, lineage) -> None:
+        """Opt in to span-based lineage tracing (:mod:`repro.obs.lineage`).
+
+        Wires the tracker, on the fabric's cycle clock, into every
+        router and interface (and their input queues, for receive-side
+        drains) so one tracker sees the whole message path.  Off by
+        default; when off the cycle loop pays one identity check at the
+        two blocked-move charge sites and one per serialization start.
+        """
+        self.lineage = lineage
+        clock = lambda: self.stats.cycles  # noqa: E731 - shared cycle clock
+        for router in self.routers:
+            router.attach_lineage(lineage, clock)
+        for interface in self.interfaces:
+            interface.attach_lineage(lineage, clock)
 
     def interface(self, node: int) -> NetworkInterface:
         return self.interfaces[self.topology.check_node(node)]
@@ -199,6 +219,7 @@ class Fabric:
         delivered = 0
         link_moves = 0
         tracer = self.tracer
+        lineage = self.lineage
         # Snapshot service decisions AND credits before moving anything,
         # so a message cannot traverse two links in one cycle and a
         # buffer slot freed by an earlier move this cycle cannot be
@@ -282,6 +303,8 @@ class Fabric:
                 else:
                     self.stats.deliveries_refused += 1
                     router.stats.blocked_moves += 1
+                    if lineage is not None:
+                        lineage.on_block(message, self.stats.cycles)
                     if tracer is not None:
                         tracer.emit(
                             self.stats.cycles, BLOCK, router.node, port="eject"
@@ -300,6 +323,8 @@ class Fabric:
                     link_moves += 1
                 else:
                     router.stats.blocked_moves += 1
+                    if lineage is not None:
+                        lineage.on_block(item.message, self.stats.cycles)
                     if tracer is not None:
                         tracer.emit(
                             self.stats.cycles,
@@ -328,6 +353,8 @@ class Fabric:
             entry = self._injection_timers.get(node)
             if entry is None or entry[0] is not head:
                 remaining = self.serialization_cycles
+                if self.lineage is not None:
+                    self.lineage.on_serialize_start(head, self.stats.cycles)
             else:
                 remaining = entry[1]
             remaining -= 1

@@ -107,6 +107,7 @@ class Router:
         self.injection: Deque[InTransit] = deque()
         self.stats = RouterStats()
         self.tracer: Optional[Tracer] = None
+        self.lineage = None
         self._clock: Callable[[], int] = _zero_clock
 
     def attach_tracer(
@@ -114,6 +115,14 @@ class Router:
     ) -> None:
         """Opt in to event tracing; ``clock`` supplies the current cycle."""
         self.tracer = tracer
+        if clock is not None:
+            self._clock = clock
+
+    def attach_lineage(
+        self, lineage, clock: Optional[Callable[[], int]] = None
+    ) -> None:
+        """Opt in to lineage span tracing (same contract as the tracer)."""
+        self.lineage = lineage
         if clock is not None:
             self._clock = clock
 
@@ -160,6 +169,10 @@ class Router:
             )
         item.hops += 1
         self.in_buffers[(neighbor, vc)].append(item)
+        if self.lineage is not None:
+            self.lineage.on_hop(
+                item.message, self._clock(), item.hops, self.node, vc, neighbor
+            )
         if self.tracer is not None:
             self.tracer.emit(
                 self._clock(),
@@ -175,6 +188,8 @@ class Router:
             raise NetworkError(f"router {self.node}: injection buffer full")
         self.injection.append(item)
         self.stats.injected += 1
+        if self.lineage is not None:
+            self.lineage.on_inject(item.message, self._clock(), self.node)
         if self.tracer is not None:
             self.tracer.emit(
                 self._clock(),

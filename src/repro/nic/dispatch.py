@@ -125,6 +125,27 @@ def compute_msg_ip(
     )
 
 
+def describe_dispatch(
+    message: Optional[Message], conditions: DispatchConditions
+) -> dict:
+    """Human-readable dispatch facts for a message entering the registers.
+
+    Used by lineage tracing to label ``dispatch``/``handler`` spans with
+    which Figure 7 case fired and under which boundary conditions —
+    exactly the information ``MsgIp`` encodes in address bits.
+    """
+    if message is not None and message.mtype == TYPE_MSG_IP and not conditions.boundary:
+        case = 2
+        handler_id = None
+    else:
+        case = 1
+        handler_id = message.mtype if message is not None else HANDLER_ID_NO_MESSAGE
+    detail = {"case": case, "iafull": conditions.iafull, "oafull": conditions.oafull}
+    if handler_id is not None:
+        detail["handler_id"] = handler_id
+    return detail
+
+
 class DispatchUnit:
     """The MsgIp / NextMsgIp generator attached to a network interface.
 

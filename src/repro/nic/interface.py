@@ -33,7 +33,7 @@ from typing import Callable, List, Optional, Protocol
 
 from repro.errors import MessageFormatError, QueueOverflowError, ReservedTypeError
 from repro.nic.control import ControlRegister, SendFullPolicy, StatusRegister
-from repro.nic.dispatch import DispatchConditions, DispatchUnit
+from repro.nic.dispatch import DispatchConditions, DispatchUnit, describe_dispatch
 from repro.nic.messages import (
     MESSAGE_WORDS,
     TYPE_EXCEPTION,
@@ -176,6 +176,7 @@ class NetworkInterface:
         self.interrupt_hook: Optional[Callable[[], None]] = None
         self.interrupts_raised = 0
         self.tracer: Optional[Tracer] = None
+        self.lineage = None
         self._clock: Callable[[], int] = _zero_clock
         self._refresh_status()
 
@@ -191,6 +192,20 @@ class NetworkInterface:
         self.tracer = tracer
         if clock is not None:
             self._clock = clock
+
+    def attach_lineage(
+        self, lineage, clock: Optional[Callable[[], int]] = None
+    ) -> None:
+        """Opt in to span-based lineage tracing (:mod:`repro.obs.lineage`).
+
+        Same contract as :meth:`attach_tracer`: off by default, one
+        identity check per hook site when off.  The input queue shares
+        the tracker so receive-side drains (tenancy parking) are seen.
+        """
+        self.lineage = lineage
+        if clock is not None:
+            self._clock = clock
+        self.input_queue.attach_lineage(lineage, self._clock)
 
     def attach_tenant_scheduler(self, scheduler: "TenantSchedulerLike") -> None:
         """Install the receive-side scheduler (Section 2.1.3, pluggable).
@@ -372,6 +387,8 @@ class NetworkInterface:
         self.output_queue.push(message)
         self.stats.sends += 1
         self.stats.sends_by_mode[mode] += 1
+        if self.lineage is not None:
+            self.lineage.on_send(message, self.node, self._clock())
         self._refresh_status()
         if self.tracer is not None:
             self.tracer.emit(
@@ -413,9 +430,12 @@ class NetworkInterface:
     def next(self) -> None:
         """The ``NEXT`` command: dispose of the current message and advance."""
         self.stats.nexts += 1
+        retired = self._current
         self._current = None
         if self.tracer is not None:
             self.tracer.emit(self._clock(), NEXT, self.node)
+        if self.lineage is not None and retired is not None:
+            self.lineage.on_retire(retired, self._clock())
         self._advance()
         self._refresh_status()
 
@@ -487,6 +507,8 @@ class NetworkInterface:
             self.tracer.emit(
                 self._clock(), DELIVER, self.node, mtype=message.mtype
             )
+        if self.lineage is not None:
+            self.lineage.on_deliver(message, self._clock())
         self._advance()
         self._refresh_status()
         if self.control["arrival_interrupt"] and self.interrupt_hook is not None:
@@ -534,6 +556,8 @@ class NetworkInterface:
                 self.input_queue.tenant_stats.on_cap_rejection(message.pin)
             reason = DIVERT_CAP
         if reason is not None:
+            if self.lineage is not None:
+                self.lineage.on_divert(message, self._clock(), reason)
             if self.tenant_scheduler is not None:
                 self.tenant_scheduler.on_divert(self, message, reason)
             elif self._accept_hook is not None:
@@ -556,6 +580,12 @@ class NetworkInterface:
                 self.tracer.emit(
                     self._clock(), DISPATCH, self.node,
                     mtype=self._current.mtype,
+                )
+            if self._current is not None and self.lineage is not None:
+                self.lineage.on_dispatch(
+                    self._current,
+                    self._clock(),
+                    describe_dispatch(self._current, self._conditions()),
                 )
 
     def _refresh_status(self) -> None:

@@ -1,6 +1,6 @@
 """Opt-in observability for the whole message path.
 
-Three pieces, all zero-cost when not attached:
+All pieces are zero-cost when not attached:
 
 * :mod:`repro.obs.tracer` — ring-buffered structured event tracing with
   cycle/turn timestamps and eviction-proof per-kind counts;
@@ -11,73 +11,91 @@ Three pieces, all zero-cost when not attached:
   in ``chrome://tracing`` / Perfetto;
 * :mod:`repro.obs.profiler` — kernel-attached per-component cycle/time
   attribution plus the counter/gauge registry the other layers feed;
+* :mod:`repro.obs.lineage` / :mod:`repro.obs.breakdown` — per-message
+  causal span tracing (lineage ids, typed phase spans, parent edges)
+  with the exact-reconciliation latency breakdown and critical-path
+  extraction on top;
 * :mod:`repro.obs.perfdb` / :mod:`repro.obs.report` — the append-only
   cross-run performance database the benchmarks write and the trend /
   regression report (``python -m repro.obs.report``) built on it.
 
 The fabric, routers, interfaces, and the TAM runtime accept a tracer
-(and the fabric a metrics recorder); ``python -m repro --trace`` and
+and a lineage tracker (and the fabric a metrics recorder);
+``python -m repro --trace --lineage`` and
 ``benchmarks/bench_flowcontrol.py`` wire everything together.
+
+The package exports lazily (:pep:`562`): ``from repro.obs import
+Tracer`` resolves the submodule on first attribute access, so importing
+:mod:`repro.obs` costs nothing for runs that never observe anything.
 """
 
-from repro.obs.chrome import chrome_trace, chrome_trace_events, write_chrome_trace
-from repro.obs.metrics import (
-    Histogram,
-    MetricsRecorder,
-    ThresholdCrossing,
-    TimeSeries,
-)
-from repro.obs.profiler import (
-    ComponentProfile,
-    SimProfiler,
-    reconcile,
-    render_profile,
-)
-from repro.obs.tracer import (
-    ALL_KINDS,
-    BLOCK,
-    DELIVER,
-    DISPATCH,
-    DIVERT,
-    EJECT,
-    HOP,
-    INJECT,
-    NEXT,
-    REFUSE,
-    SEND,
-    SEND_STALL,
-    TAM_HANDLE,
-    TAM_POST,
-    TraceEvent,
-    Tracer,
-)
+from typing import Dict, Tuple
 
-__all__ = [
-    "ALL_KINDS",
-    "BLOCK",
-    "DELIVER",
-    "DISPATCH",
-    "DIVERT",
-    "EJECT",
-    "HOP",
-    "INJECT",
-    "NEXT",
-    "REFUSE",
-    "SEND",
-    "SEND_STALL",
-    "TAM_HANDLE",
-    "TAM_POST",
-    "ComponentProfile",
-    "Histogram",
-    "MetricsRecorder",
-    "SimProfiler",
-    "ThresholdCrossing",
-    "TimeSeries",
-    "TraceEvent",
-    "Tracer",
-    "chrome_trace",
-    "chrome_trace_events",
-    "reconcile",
-    "render_profile",
-    "write_chrome_trace",
-]
+#: Exported name -> submodule that defines it.  ``__getattr__`` imports
+#: the submodule only when the name is first touched.
+_EXPORTS: Dict[str, str] = {
+    # tracer
+    "ALL_KINDS": "tracer",
+    "BLOCK": "tracer",
+    "DELIVER": "tracer",
+    "DISPATCH": "tracer",
+    "DIVERT": "tracer",
+    "EJECT": "tracer",
+    "HOP": "tracer",
+    "INJECT": "tracer",
+    "NEXT": "tracer",
+    "REFUSE": "tracer",
+    "SEND": "tracer",
+    "SEND_STALL": "tracer",
+    "TAM_HANDLE": "tracer",
+    "TAM_POST": "tracer",
+    "TraceEvent": "tracer",
+    "Tracer": "tracer",
+    # metrics
+    "Histogram": "metrics",
+    "MetricsRecorder": "metrics",
+    "ThresholdCrossing": "metrics",
+    "TimeSeries": "metrics",
+    # profiler
+    "ComponentProfile": "profiler",
+    "SimProfiler": "profiler",
+    "reconcile": "profiler",
+    "render_profile": "profiler",
+    # chrome
+    "chrome_trace": "chrome",
+    "chrome_trace_events": "chrome",
+    "write_chrome_trace": "chrome",
+    # lineage
+    "LineageRecord": "lineage",
+    "LineageTracker": "lineage",
+    "PHASES": "lineage",
+    "Span": "lineage",
+    # breakdown
+    "LINEAGE_SCHEMA": "breakdown",
+    "critical_path": "breakdown",
+    "lineage_report": "breakdown",
+    "phase_breakdown": "breakdown",
+    "reconcile_lineage": "breakdown",
+    "write_lineage": "breakdown",
+}
+
+__all__: Tuple[str, ...] = tuple(sorted(_EXPORTS))
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    from importlib import import_module
+
+    module = import_module(f"{__name__}.{module_name}")
+    value = getattr(module, name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

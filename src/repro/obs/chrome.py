@@ -13,7 +13,16 @@ https://ui.perfetto.dev:
 * threshold crossings become instant events on a dedicated counter pid;
 * a profiler's sampled tick attribution becomes one stacked counter
   track (``ph: "C"`` on its own pid), so per-component serviced work
-  renders as an area chart aligned with the event timeline.
+  renders as an area chart aligned with the event timeline;
+* a lineage tracker's phase spans become *complete* events (``ph: "X"``)
+  on a track per message, with flow events (``ph: "s"`` / ``"f"``)
+  linking the send to the delivery and each causal parent to its child,
+  so a collective tree or request/response pair renders as connected
+  arrows across components;
+* when the tracer's ring buffer evicted events, a ``trace_overflow``
+  counter track marks the drop count on the time axis and a top-of-trace
+  metadata warning names it, so a truncated trace is never silently
+  mistaken for a complete one.
 
 Simulated cycles (or TAM turns) map one-to-one onto trace microseconds —
 the viewer's time axis reads directly as cycles.
@@ -35,6 +44,8 @@ EVENTS_PID = 0
 COUNTERS_PID = 1
 #: pid used for the profiler's tick-attribution counter track.
 PROFILER_PID = 2
+#: pid used for lineage span tracks (one tid per message).
+LINEAGE_PID = 3
 
 
 def _jsonable(value: Any) -> Any:
@@ -43,17 +54,108 @@ def _jsonable(value: Any) -> Any:
     return str(value)
 
 
+def _lineage_events(lineage) -> List[Dict[str, Any]]:
+    """Spans as complete events plus flow arrows along causal edges."""
+    events: List[Dict[str, Any]] = []
+    for record in lineage.records:
+        tid = record.lid
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": LINEAGE_PID,
+                "tid": tid,
+                "args": {
+                    "name": f"lineage {record.lid} "
+                    f"({record.origin}, {record.src}->{record.dest})"
+                },
+            }
+        )
+        for span in record.spans:
+            event: Dict[str, Any] = {
+                "name": span.phase,
+                "cat": "lineage",
+                "ph": "X",
+                "ts": span.start,
+                "dur": span.end - span.start,
+                "pid": LINEAGE_PID,
+                "tid": tid,
+            }
+            if span.detail:
+                event["args"] = {k: _jsonable(v) for k, v in span.detail.items()}
+            events.append(event)
+        # One flow per message from its creation to its delivery, so the
+        # viewer draws the arrow across the component tracks.
+        if record.delivered is not None:
+            events.append(
+                {
+                    "name": "lineage",
+                    "cat": "lineage-flow",
+                    "ph": "s",
+                    "id": record.lid,
+                    "ts": record.created,
+                    "pid": LINEAGE_PID,
+                    "tid": tid,
+                }
+            )
+            events.append(
+                {
+                    "name": "lineage",
+                    "cat": "lineage-flow",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": record.lid,
+                    "ts": record.delivered,
+                    "pid": LINEAGE_PID,
+                    "tid": tid,
+                }
+            )
+        # Causal edges: parent's end flows into this record's start.
+        for parent in record.parents:
+            flow_id = (parent.lid << 20) | (record.lid & 0xFFFFF)
+            parent_end = (
+                parent.retired if parent.retired is not None else parent.cursor
+            )
+            events.append(
+                {
+                    "name": "causes",
+                    "cat": "lineage-causal",
+                    "ph": "s",
+                    "id": flow_id,
+                    "ts": parent_end,
+                    "pid": LINEAGE_PID,
+                    "tid": parent.lid,
+                }
+            )
+            events.append(
+                {
+                    "name": "causes",
+                    "cat": "lineage-causal",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": flow_id,
+                    "ts": record.created,
+                    "pid": LINEAGE_PID,
+                    "tid": tid,
+                }
+            )
+    return events
+
+
 def chrome_trace_events(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRecorder] = None,
     profiler: Optional[SimProfiler] = None,
+    lineage=None,
 ) -> List[Dict[str, Any]]:
-    """The ``traceEvents`` list for ``tracer``/``metrics``/``profiler``."""
+    """The ``traceEvents`` list for the attached observers."""
     events: List[Dict[str, Any]] = []
     if tracer is not None:
         nodes = set()
+        last_ts = 0
         for event in tracer:
             nodes.add(event.node)
+            last_ts = event.ts
             events.append(
                 {
                     "name": event.kind,
@@ -74,6 +176,32 @@ def chrome_trace_events(
                     "pid": EVENTS_PID,
                     "tid": node,
                     "args": {"name": f"node {node}"},
+                }
+            )
+        if tracer.dropped:
+            # The retained window starts after the evictions, so the
+            # overflow counter steps from the drop count down to zero at
+            # the first retained event — the truncation is visible on
+            # the time axis itself, not only in the metadata.
+            first_ts = next(iter(tracer)).ts if len(tracer) else last_ts
+            events.append(
+                {
+                    "name": "trace_overflow",
+                    "cat": "metrics",
+                    "ph": "C",
+                    "ts": 0,
+                    "pid": COUNTERS_PID,
+                    "args": {"events_dropped": tracer.dropped},
+                }
+            )
+            events.append(
+                {
+                    "name": "trace_overflow",
+                    "cat": "metrics",
+                    "ph": "C",
+                    "ts": first_ts,
+                    "pid": COUNTERS_PID,
+                    "args": {"events_dropped": 0},
                 }
             )
     if metrics is not None:
@@ -126,6 +254,8 @@ def chrome_trace_events(
                     "args": args,
                 }
             )
+    if lineage is not None:
+        events.extend(_lineage_events(lineage))
     return events
 
 
@@ -133,15 +263,21 @@ def chrome_trace(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRecorder] = None,
     profiler: Optional[SimProfiler] = None,
+    lineage=None,
 ) -> Dict[str, Any]:
     """The full JSON-object-format document (``chrome://tracing`` input)."""
     document: Dict[str, Any] = {
-        "traceEvents": chrome_trace_events(tracer, metrics, profiler),
+        "traceEvents": chrome_trace_events(tracer, metrics, profiler, lineage),
         "displayTimeUnit": "ms",
         "otherData": {"timebase": "1 trace microsecond = 1 simulated cycle"},
     }
     if tracer is not None and tracer.dropped:
         document["otherData"]["events_dropped_from_ring"] = tracer.dropped
+        document["otherData"]["warning"] = (
+            f"INCOMPLETE TRACE: the tracer's ring buffer evicted "
+            f"{tracer.dropped} events before export; the trace_overflow "
+            f"counter track marks the truncation"
+        )
     return document
 
 
@@ -150,9 +286,12 @@ def write_chrome_trace(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRecorder] = None,
     profiler: Optional[SimProfiler] = None,
+    lineage=None,
 ) -> Path:
     """Write the trace document to ``path``; returns the path written."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(chrome_trace(tracer, metrics, profiler)) + "\n")
+    path.write_text(
+        json.dumps(chrome_trace(tracer, metrics, profiler, lineage)) + "\n"
+    )
     return path

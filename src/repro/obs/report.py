@@ -24,9 +24,11 @@ regressions.  The statistics are deliberately boring and robust:
 * the gate arms only once two prior same-host runs exist (a single
   history point gives a zero-width noise band, which would flag ordinary
   jitter); until then timings report ``needs-history``;
-* only wall-clock metrics (names ending ``_seconds``) are gated; counts
-  and cycle totals are reported as trend context but a deterministic
-  change to them is a correctness question, not a perf regression.
+* only wall-clock metrics are gated — those whose name matches the gate
+  pattern (an ``fnmatch`` glob, default ``*_seconds``); counts and cycle
+  totals are reported as trend context but a deterministic change to
+  them is a correctness question, not a perf regression.  Pass
+  ``--gate-pattern`` to widen or narrow the gated set.
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ from __future__ import annotations
 import argparse
 import html as _html
 import sys
+from fnmatch import fnmatchcase
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -42,6 +45,9 @@ from repro.obs.profiler import render_profile
 
 #: Default relative-margin threshold for the regression gate.
 DEFAULT_THRESHOLD = 0.10
+
+#: Default fnmatch glob selecting which metrics the gate judges.
+DEFAULT_GATE_PATTERN = "*_seconds"
 
 #: Scale factor turning a MAD into a consistent sigma estimate.
 MAD_SIGMA = 1.4826
@@ -72,9 +78,10 @@ def analyze_metric(
     history: Sequence[float],
     current: float,
     threshold: float,
+    gate_pattern: str = DEFAULT_GATE_PATTERN,
 ) -> Dict[str, Any]:
     """Judge one metric's latest value against its same-host history."""
-    gated = name.endswith("_seconds")
+    gated = fnmatchcase(name, gate_pattern)
     entry: Dict[str, Any] = {
         "name": name,
         "current": current,
@@ -109,6 +116,7 @@ def analyze_bench(
     records: Sequence[Dict[str, Any]],
     threshold: float = DEFAULT_THRESHOLD,
     host: Optional[str] = None,
+    gate_pattern: str = DEFAULT_GATE_PATTERN,
 ) -> Dict[str, Any]:
     """Trend + verdict for one bench's history (same-host records only)."""
     host = host or host_fingerprint()
@@ -140,7 +148,7 @@ def analyze_bench(
             for r in history
             if isinstance(r["metrics"].get(name), (int, float))
         ]
-        entry = analyze_metric(name, prior, float(value), threshold)
+        entry = analyze_metric(name, prior, float(value), threshold, gate_pattern)
         report["metrics"].append(entry)
         if entry["regressed"]:
             report["regressed"] = True
@@ -154,6 +162,7 @@ def analyze_db(
     threshold: float = DEFAULT_THRESHOLD,
     host: Optional[str] = None,
     benches: Optional[Sequence[str]] = None,
+    gate_pattern: str = DEFAULT_GATE_PATTERN,
 ) -> List[Dict[str, Any]]:
     """One report per bench in the database, bench-name order."""
     history = load_all(db_dir)
@@ -161,7 +170,9 @@ def analyze_db(
     for bench in sorted(history):
         if benches and bench not in benches:
             continue
-        reports.append(analyze_bench(bench, history[bench], threshold, host))
+        reports.append(
+            analyze_bench(bench, history[bench], threshold, host, gate_pattern)
+        )
     return reports
 
 
@@ -359,12 +370,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--host",
         help="compare within this host fingerprint (default: this machine)",
     )
+    parser.add_argument(
+        "--gate-pattern",
+        default=DEFAULT_GATE_PATTERN,
+        help=(
+            "fnmatch glob selecting which metrics the gate judges "
+            f"(default: {DEFAULT_GATE_PATTERN}); everything else is "
+            "reported as trend context only"
+        ),
+    )
     parser.add_argument("--html", help="also write a self-contained HTML report")
     parser.add_argument("--markdown", help="also write the markdown report")
     args = parser.parse_args(argv)
 
     reports = analyze_db(
-        Path(args.db), args.threshold, host=args.host, benches=args.bench
+        Path(args.db),
+        args.threshold,
+        host=args.host,
+        benches=args.bench,
+        gate_pattern=args.gate_pattern,
     )
     markdown = render_markdown(reports, args.threshold)
     print(markdown, end="")

@@ -30,11 +30,12 @@ asserts this field by field).
 
 Observability: every message-producing closure posts through the
 ``machine._post`` it captured at compile time.  When the machine was
-constructed with a tracer (:mod:`repro.obs.tracer`), that attribute is
-already the traced wrapper — installed in ``TamMachine.__init__``,
-before any ``load()`` — so compiled code emits ``tam_post`` events with
-no changes here and, crucially, a machine *without* a tracer captures
-the original method and pays nothing.
+constructed with a tracer (:mod:`repro.obs.tracer`) or a lineage
+tracker (:mod:`repro.obs.lineage`), that attribute is already the
+observing wrapper — installed in ``TamMachine.__init__``, before any
+``load()`` — so compiled code emits ``tam_post`` events / lineage
+records with no changes here and, crucially, a machine *without*
+observers captures the original method and pays nothing.
 """
 
 from __future__ import annotations

@@ -154,6 +154,7 @@ class TamMachine:
         tracer: Optional[Tracer] = None,
         profiler: Optional["SimProfiler"] = None,
         backend: Optional[str] = None,
+        lineage=None,
     ) -> None:
         if n_nodes < 1:
             raise TamError("a TAM machine needs at least one node")
@@ -183,7 +184,7 @@ class TamMachine:
         self._reference_sched = ReferenceSweep()
         if self._is_codegen:
             self._deliver = self._deliver_message_codegen
-            if tracer is not None or profiler is not None:
+            if tracer is not None or profiler is not None or lineage is not None:
                 # Observed codegen runs are driven by EventSweep
                 # (_run_codegen_generic), so posts must feed its heap.
                 # Instance-attribute override, installed before any
@@ -208,6 +209,13 @@ class TamMachine:
         self._trace_seq = 0
         if tracer is not None:
             self._install_tracing()
+        # Lineage (repro.obs.lineage) uses the same construction-time
+        # wrapper swap as the tracer: posts create causal records, the
+        # seven leaf handlers bracket handler spans, and a post issued
+        # while a wrapped handler runs links request to response.
+        self.lineage = lineage
+        if lineage is not None:
+            self._install_lineage()
         # Like the tracer, the profiler is identity-guarded: with None
         # the run loops use the original service callbacks unchanged.
         self.profiler = profiler
@@ -249,6 +257,47 @@ class TamMachine:
                 handler(state, message)
 
             return traced
+
+        for name in (
+            "_deliver",
+            "_on_pread",
+            "_on_pwrite",
+            "_on_falloc",
+            "_on_ialloc",
+            "_on_read",
+            "_on_write",
+        ):
+            setattr(self, name, wrap_handler(getattr(self, name)))
+
+    def _install_lineage(self) -> None:
+        """Swap the message entry points for lineage-recording wrappers.
+
+        Same instance-attribute mechanism (and the same seven leaf
+        handlers) as :meth:`_install_tracing`, so a machine built
+        without lineage executes byte-identical hot-path code.  The
+        tracker runs on its own monotonic turn sequence; a ``_post``
+        issued while a wrapped handler is running (e.g. ``_reply``)
+        records the handled message as the new message's causal parent,
+        which is what links a request to its response in the DAG.
+        """
+        lineage = self.lineage
+        plain_post = self._post
+
+        def lineage_post(message: TamMessage) -> None:
+            lineage.tam_post(message)
+            plain_post(message)
+
+        self._post = lineage_post
+
+        def wrap_handler(handler):
+            def observed(state: _NodeState, message: TamMessage) -> None:
+                record = lineage.tam_begin_handle(message)
+                try:
+                    handler(state, message)
+                finally:
+                    lineage.tam_end_handle(record)
+
+            return observed
 
         for name in (
             "_deliver",
@@ -531,7 +580,7 @@ class TamMachine:
         attribution are identical to the other backends'.
         """
         try:
-            if self.tracer is None and self.profiler is None:
+            if self.tracer is None and self.profiler is None and self.lineage is None:
                 return self._run_codegen_fused(max_turns)
             return self._run_codegen_generic(max_turns)
         finally:
@@ -793,9 +842,10 @@ class TamMachine:
 
         Message delivery for the dominant kinds indexes the flat frame
         directly — ``frame[0]`` is the inlet dispatch dict — unless a
-        tracer is installed, in which case the traced handlers run so
-        every handled message emits its ``tam_handle`` event; a profiler
-        wraps the service callback for per-node turn attribution.
+        tracer or lineage tracker is installed, in which case the
+        wrapped handlers run so every handled message emits its
+        ``tam_handle`` event / handler span; a profiler wraps the
+        service callback for per-node turn attribution.
         """
         nodes = self.nodes
         process = self._process_message
@@ -804,7 +854,7 @@ class TamMachine:
         kind_reply = MsgKind.REPLY
         kind_pread = MsgKind.PREAD
 
-        if self.tracer is None:
+        if self.tracer is None and self.lineage is None:
             def service(state: _NodeState):
                 stack = state.stack
                 if stack:

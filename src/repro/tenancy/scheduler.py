@@ -265,6 +265,11 @@ class TenantPolicy(SimComponent):
         drained: List[Message] = []
         if ni.current_message is not None:
             drained.append(ni.current_message)
+            if ni.lineage is not None:
+                # Parking bypasses NEXT, so the in-registers message must
+                # report its handler-abort to the tracker here; queued
+                # messages are reported by the queue's own drain().
+                ni.lineage.on_drain(ni.current_message, ni._clock())
             ni._current = None
         drained.extend(ni.input_queue.drain())
         if drained:

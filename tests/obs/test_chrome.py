@@ -5,6 +5,7 @@ import json
 from repro.obs.chrome import (
     COUNTERS_PID,
     EVENTS_PID,
+    LINEAGE_PID,
     chrome_trace,
     chrome_trace_events,
     write_chrome_trace,
@@ -82,3 +83,89 @@ class TestChromeExport:
         # Every event is plain JSON already (args were sanitised).
         for event in document["traceEvents"]:
             assert isinstance(event["name"], str)
+
+
+class TestOverflowWarning:
+    """A truncated ring must be loudly visible in the exported trace."""
+
+    def overflowed(self) -> Tracer:
+        tracer = Tracer(capacity=2)
+        for ts in range(5):
+            tracer.emit(ts, SEND, 0)
+        return tracer
+
+    def test_overflow_counter_track(self):
+        events = chrome_trace_events(self.overflowed())
+        overflow = [e for e in events if e["name"] == "trace_overflow"]
+        assert [e["args"]["events_dropped"] for e in overflow] == [3, 0]
+        assert overflow[0]["ts"] == 0
+        # The counter drops to zero at the first retained event, so the
+        # truncation boundary sits on the time axis.
+        assert overflow[1]["ts"] == 3
+        assert all(e["pid"] == COUNTERS_PID for e in overflow)
+        assert all(e["ph"] == "C" for e in overflow)
+
+    def test_top_of_trace_warning(self):
+        document = chrome_trace(self.overflowed())
+        warning = document["otherData"]["warning"]
+        assert "INCOMPLETE TRACE" in warning
+        assert "3" in warning
+        assert document["otherData"]["events_dropped_from_ring"] == 3
+
+    def test_no_overflow_no_counter_no_warning(self):
+        document = chrome_trace(make_tracer())
+        assert "warning" not in document["otherData"]
+        names = {e["name"] for e in document["traceEvents"]}
+        assert "trace_overflow" not in names
+
+
+class TestLineageExport:
+    def lineage(self):
+        from repro.obs.lineage import LineageTracker
+
+        class Msg:
+            dest = 1
+            mtype = None
+
+        tracker = LineageTracker(origin="unit")
+        parent, child = Msg(), Msg()
+        tracker.on_send(parent, 0, ts=0)
+        tracker.on_inject(parent, ts=1, node=0)
+        tracker.on_deliver(parent, ts=4)
+        tracker.on_dispatch(parent, ts=5)
+        tracker.on_retire(parent, ts=6)
+        tracker.on_send(child, 1, ts=7)
+        tracker.on_inject(child, ts=8, node=1)
+        tracker.on_deliver(child, ts=11)
+        tracker.on_dispatch(child, ts=12)
+        tracker.on_retire(child, ts=13)
+        tracker.records[1].parents.append(tracker.records[0])
+        return tracker
+
+    def test_spans_are_complete_events_on_lineage_pid(self):
+        events = chrome_trace_events(lineage=self.lineage())
+        spans = [e for e in events if e["ph"] == "X"]
+        assert spans
+        assert all(e["pid"] == LINEAGE_PID for e in spans)
+        assert all(e["dur"] > 0 for e in spans)
+
+    def test_message_flow_spans_creation_to_delivery(self):
+        events = chrome_trace_events(lineage=self.lineage())
+        starts = [e for e in events if e["ph"] == "s" and e.get("cat") == "lineage-flow"]
+        finishes = [e for e in events if e["ph"] == "f" and e.get("cat") == "lineage-flow"]
+        assert len(starts) == len(finishes) == 2
+        assert starts[0]["ts"] == 0
+        assert finishes[0]["ts"] == 5  # delivered = eject end
+
+    def test_causal_edges_get_flow_arrows(self):
+        events = chrome_trace_events(lineage=self.lineage())
+        causal = [e for e in events if e.get("cat") == "lineage-causal"]
+        assert len(causal) == 2  # one s + one f per parent edge
+        assert causal[0]["tid"] == 0  # from the parent's track
+        assert causal[1]["tid"] == 1  # into the child's track
+
+    def test_lineage_composes_with_tracer(self):
+        events = chrome_trace_events(make_tracer(), lineage=self.lineage())
+        pids = {e["pid"] for e in events}
+        assert EVENTS_PID in pids
+        assert LINEAGE_PID in pids

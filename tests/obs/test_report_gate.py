@@ -1,0 +1,116 @@
+"""The regression gate: pattern-scoped metrics and CLI exit codes."""
+
+from repro.obs import perfdb
+from repro.obs.report import (
+    DEFAULT_GATE_PATTERN,
+    analyze_bench,
+    analyze_metric,
+    main,
+)
+
+
+def seed_history(db_dir, values, name="hotspot_untraced_seconds", extra=None):
+    """Append one record per value, all under this host's fingerprint."""
+    for value in values:
+        metrics = {name: value}
+        if extra:
+            metrics.update(extra)
+        perfdb.append_record(db_dir, perfdb.make_record("bench", metrics))
+
+
+class TestGatePattern:
+    def test_default_gates_only_seconds(self):
+        assert DEFAULT_GATE_PATTERN == "*_seconds"
+        gated = analyze_metric("run_seconds", [1.0, 1.0], 1.0, 0.1)
+        context = analyze_metric("cycles_total", [100.0, 100.0], 900.0, 0.1)
+        assert gated["gated"] is True
+        assert context["gated"] is False
+        assert context["status"] == "info"
+        assert context["regressed"] is False  # 9x jump, still not gated
+
+    def test_custom_pattern_widens_the_gate(self):
+        entry = analyze_metric(
+            "victim_p99", [10.0, 10.0], 100.0, 0.1, gate_pattern="victim_*"
+        )
+        assert entry["gated"] is True
+        assert entry["regressed"] is True
+
+    def test_custom_pattern_narrows_the_gate(self):
+        entry = analyze_metric(
+            "run_seconds", [1.0, 1.0], 9.0, 0.1, gate_pattern="matmul_*"
+        )
+        assert entry["gated"] is False
+        assert entry["regressed"] is False
+
+    def test_analyze_bench_threads_pattern(self):
+        records = [
+            perfdb.make_record("bench", {"victim_p99": 10.0}) for _ in range(2)
+        ]
+        records.append(perfdb.make_record("bench", {"victim_p99": 100.0}))
+        report = analyze_bench(
+            "bench", records, threshold=0.1, gate_pattern="victim_*"
+        )
+        assert report["regressed"] is True
+        default = analyze_bench("bench", records, threshold=0.1)
+        assert default["regressed"] is False
+
+
+class TestCliExitCodes:
+    def test_clean_db_exits_zero(self, tmp_path, capsys):
+        seed_history(tmp_path, [1.0, 1.0, 1.0])
+        assert main(["--db", str(tmp_path), "--check"]) == 0
+        assert "No regressions" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        seed_history(tmp_path, [1.0, 1.0, 9.0])
+        assert main(["--db", str(tmp_path), "--check"]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_without_check_regression_still_exits_zero(self, tmp_path, capsys):
+        seed_history(tmp_path, [1.0, 1.0, 9.0])
+        assert main(["--db", str(tmp_path)]) == 0
+        capsys.readouterr()
+
+    def test_gate_pattern_flag_changes_the_verdict(self, tmp_path, capsys):
+        # A non-seconds metric regresses: invisible to the default gate,
+        # fatal under --gate-pattern that matches it.
+        seed_history(
+            tmp_path,
+            [1.0, 1.0, 1.0],
+            extra=None,
+        )
+        for value in (10.0, 10.0, 100.0):
+            perfdb.append_record(
+                tmp_path, perfdb.make_record("qos", {"victim_p99": value})
+            )
+        assert main(["--db", str(tmp_path), "--check"]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "--db",
+                    str(tmp_path),
+                    "--check",
+                    "--gate-pattern",
+                    "victim_*",
+                ]
+            )
+            == 1
+        )
+        capsys.readouterr()
+
+    def test_narrow_pattern_ignores_seconds_regression(self, tmp_path, capsys):
+        seed_history(tmp_path, [1.0, 1.0, 9.0])
+        assert (
+            main(
+                [
+                    "--db",
+                    str(tmp_path),
+                    "--check",
+                    "--gate-pattern",
+                    "nothing_matches_*",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
